@@ -1,0 +1,102 @@
+// Command bfsbench regenerates the paper's tables and figures on the
+// simulated NUMA cluster. Each -fig flag value selects one experiment;
+// "all" runs the full evaluation.
+//
+// Usage:
+//
+//	bfsbench -fig 9 -scale 16 -roots 8
+//	bfsbench -fig all -scale 14 -roots 2
+//	bfsbench -fig table1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"numabfs/internal/experiments"
+	"numabfs/internal/machine"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,abl-allgather,abl-hybrid,all")
+	scale := flag.Int("scale", 16, "graph scale at one node (weak scaling adds log2(nodes))")
+	roots := flag.Int("roots", 8, "BFS roots per configuration (Graph500 uses 64)")
+	validate := flag.Bool("validate", false, "validate every BFS tree (slow)")
+	weak := flag.Bool("weaknode", true, "model the testbed's one weak node in 16-node runs")
+	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
+	flag.Parse()
+
+	spec := experiments.Spec{
+		BaseScale: *scale,
+		Roots:     *roots,
+		Validate:  *validate,
+		WeakNode:  *weak,
+	}
+
+	type driver struct {
+		key string
+		run func(experiments.Spec) (*experiments.Table, error)
+	}
+	drivers := []driver{
+		{"3", experiments.Fig3},
+		{"4", experiments.Fig4},
+		{"6", experiments.Fig6},
+		{"9", experiments.Fig9},
+		{"10", experiments.Fig10},
+		{"11", experiments.Fig11},
+		{"12", experiments.Fig12},
+		{"13", experiments.Fig13},
+		{"14", experiments.Fig14},
+		{"15", experiments.Fig15},
+		{"16", experiments.Fig16},
+		{"algcmp", experiments.AlgorithmComparison},
+		{"levels", experiments.LevelProfile},
+		{"2d", experiments.Ext2D},
+		{"abl-allgather", experiments.AblationAllgather},
+		{"abl-hybrid", experiments.AblationHybrid},
+		{"abl-sharedegree", experiments.AblationShareDegree},
+	}
+
+	want := strings.Split(*fig, ",")
+	match := func(key string) bool {
+		for _, w := range want {
+			if w == "all" || w == key {
+				return true
+			}
+		}
+		return false
+	}
+
+	if match("table1") {
+		fmt.Println("Table I — node configuration")
+		fmt.Print(machine.TableI().Table1String())
+		fmt.Println()
+	}
+	var tables []*experiments.Table
+	for _, d := range drivers {
+		if !match(d.key) {
+			continue
+		}
+		t, err := d.run(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: fig %s: %v\n", d.key, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		tables = append(tables, t)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: run the paper's optimized BFS on a small R-MAT graph over
+// the simulated 16-node NUMA cluster and print TEPS for the baseline and
+// the fully optimized configuration — a miniature of the paper's
+// headline 2.44x result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numabfs"
+)
+
+func main() {
+	const scale = 14 // 16k vertices, 256k edges: fast everywhere
+
+	// The paper's cluster, proportionally scaled to this graph size.
+	cfg := numabfs.ScaledCluster(scale, scale+12)
+	cfg.Nodes = 4
+	params := numabfs.Graph500Params(scale)
+
+	// Baseline: one interleaved MPI rank per node, no optimizations.
+	base, err := numabfs.Run(numabfs.Benchmark{
+		Machine:  cfg,
+		Policy:   numabfs.PPN1Interleave,
+		Params:   params,
+		Opts:     numabfs.DefaultOptions(),
+		NumRoots: 8,
+		Validate: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fully optimized: one bound rank per socket, shared bitmaps,
+	// parallelized allgather, tuned summary granularity.
+	opts := numabfs.DefaultOptions()
+	opts.Opt = numabfs.OptParAllgather
+	opts.Granularity = 256
+	best, err := numabfs.Run(numabfs.Benchmark{
+		Machine:  cfg,
+		Policy:   numabfs.PPN8Bind,
+		Params:   params,
+		Opts:     opts,
+		NumRoots: 8,
+		Validate: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("R-MAT scale %d on %d simulated NUMA nodes (%d cores)\n",
+		scale, cfg.Nodes, cfg.Nodes*cfg.SocketsPerNode*cfg.CoresPerSocket)
+	fmt.Printf("  baseline   (ppn=1, interleave):            %.3e TEPS\n", base.HarmonicTEPS)
+	fmt.Printf("  optimized  (ppn=8 bind + share + par + g): %.3e TEPS\n", best.HarmonicTEPS)
+	fmt.Printf("  speedup: %.2fx  (all BFS trees validated)\n", best.HarmonicTEPS/base.HarmonicTEPS)
+}

@@ -1,0 +1,65 @@
+// Weak-scaling study: reproduce the paper's evaluation methodology on a
+// sweep of cluster sizes — double the graph with the node count (as the
+// paper does from scale 28 on one node to scale 32 on sixteen) and watch
+// how each optimization level scales. This is Fig. 15 as a library
+// client would write it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numabfs"
+)
+
+func main() {
+	const baseScale = 14
+	nodeCounts := []int{1, 2, 4, 8}
+
+	variants := []struct {
+		name   string
+		policy numabfs.Policy
+		opt    numabfs.Options
+	}{
+		{"Original.ppn=1", numabfs.PPN1Interleave, withOpt(numabfs.OptOriginal, 64)},
+		{"Original.ppn=8", numabfs.PPN8Bind, withOpt(numabfs.OptOriginal, 64)},
+		{"Share all", numabfs.PPN8Bind, withOpt(numabfs.OptShareAll, 64)},
+		{"Par allgather g=256", numabfs.PPN8Bind, withOpt(numabfs.OptParAllgather, 256)},
+	}
+
+	fmt.Printf("weak scaling: scale %d per node, harmonic-mean TEPS\n\n", baseScale)
+	fmt.Printf("%-22s", "")
+	for _, nodes := range nodeCounts {
+		fmt.Printf("%14s", fmt.Sprintf("%d node(s)", nodes))
+	}
+	fmt.Println()
+
+	for _, v := range variants {
+		fmt.Printf("%-22s", v.name)
+		for i, nodes := range nodeCounts {
+			scale := baseScale + i // weak scaling: double graph per doubling
+			cfg := numabfs.ScaledCluster(scale, scale+12).WithNodes(nodes)
+			res, err := numabfs.Run(numabfs.Benchmark{
+				Machine:  cfg,
+				Policy:   v.policy,
+				Params:   numabfs.Graph500Params(scale),
+				Opts:     v.opt,
+				NumRoots: 4,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%14.3e", res.HarmonicTEPS)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nperfect weak scaling doubles TEPS per row step; communication cost")
+	fmt.Println("is what bends the curves — compare the bottom rows with Original.ppn=8.")
+}
+
+func withOpt(opt numabfs.OptLevel, g int64) numabfs.Options {
+	o := numabfs.DefaultOptions()
+	o.Opt = opt
+	o.Granularity = g
+	return o
+}

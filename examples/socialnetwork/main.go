@@ -1,0 +1,105 @@
+// Social-network analysis: the paper's introduction motivates BFS with
+// graph analytics on social networks. This example treats an R-MAT graph
+// as a synthetic social network and uses the distributed BFS to compute
+// degrees-of-separation statistics from several seed users: how much of
+// the network each seed reaches, and how the reached population spreads
+// over hop counts (the classic "six degrees" histogram).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numabfs"
+)
+
+func main() {
+	const scale = 14
+	cfg := numabfs.ScaledCluster(scale, scale+12)
+	cfg.Nodes = 2
+	params := numabfs.Graph500Params(scale)
+
+	opts := numabfs.DefaultOptions()
+	opts.Opt = numabfs.OptShareAll
+
+	r, err := numabfs.NewRunner(cfg, numabfs.PPN8Bind, params, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Setup()
+
+	seeds := params.Roots(4, r.HasEdgeGlobal)
+	n := params.NumVertices()
+
+	fmt.Printf("synthetic social network: %d users, ~%d relationships\n\n", n, params.NumEdges())
+	for _, seed := range seeds {
+		res := r.RunRoot(seed)
+		if err := numabfs.Validate(r, seed); err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		hops := hopHistogram(r, seed)
+
+		fmt.Printf("seed user %d:\n", seed)
+		fmt.Printf("  reached %d of %d users (%.1f%%) in %d hops, %.2f ms virtual (%.2e TEPS)\n",
+			res.Visited, n, 100*float64(res.Visited)/float64(n),
+			len(hops)-1, res.TimeNs/1e6, res.TEPS)
+		cum := int64(0)
+		for h, c := range hops {
+			cum += c
+			fmt.Printf("  %2d hop(s): %8d users  (%.1f%% cumulative) %s\n",
+				h, c, 100*float64(cum)/float64(res.Visited), bar(c, res.Visited))
+		}
+		fmt.Println()
+	}
+}
+
+// hopHistogram counts reached users per BFS level by walking each rank's
+// parent array up to the root.
+func hopHistogram(r *numabfs.Runner, root int64) []int64 {
+	n := r.Params.NumVertices()
+	parent := make([]int64, n)
+	for rank, pa := range r.ParentArrays() {
+		lo, _ := r.Part.Range(rank)
+		copy(parent[lo:lo+int64(len(pa))], pa)
+	}
+	level := make([]int64, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	maxLevel := int64(0)
+	for changed := true; changed; {
+		changed = false
+		for v := int64(0); v < n; v++ {
+			if level[v] >= 0 || parent[v] < 0 {
+				continue
+			}
+			if pl := level[parent[v]]; pl >= 0 {
+				level[v] = pl + 1
+				if level[v] > maxLevel {
+					maxLevel = level[v]
+				}
+				changed = true
+			}
+		}
+	}
+	hist := make([]int64, maxLevel+1)
+	for _, l := range level {
+		if l >= 0 {
+			hist[l]++
+		}
+	}
+	return hist
+}
+
+func bar(c, total int64) string {
+	if total == 0 {
+		return ""
+	}
+	w := int(40 * c / total)
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

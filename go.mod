@@ -1,0 +1,3 @@
+module numabfs
+
+go 1.22

@@ -1,0 +1,157 @@
+package bfs
+
+import (
+	"math/bits"
+
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/trace"
+)
+
+// bottomUpLevel runs one bottom-up step: every unvisited owned vertex
+// scans its neighbours, short-circuiting through in_queue_summary, until
+// it finds a parent in the current frontier (in_queue). The new frontier
+// is then allgathered — the communication phase the paper optimizes.
+// Returns the allreduced size and edge sum of the next frontier.
+func (rs *rankState) bottomUpLevel(p *mpi.Proc) (nf, mf int64) {
+	r := rs.r
+	var nfLocal, mfLocal int64
+
+	// Clear the owned out_queue segment (a streaming memset).
+	wlo := r.wordLayout.Displs[p.Rank()]
+	wcnt := r.wordLayout.Counts[p.Rank()]
+	own := rs.outQ.Words()[wlo : wlo+wcnt]
+	for i := range own {
+		own[i] = 0
+	}
+	clr := rs.team.Parallel(machine.PhaseLoad{SeqBytes: wcnt * 8, SeqLoc: rs.outLoc()})
+	p.Compute(clr)
+	rs.bd.Add(trace.BUComp, clr)
+
+	// Computation: scan unvisited owned vertices.
+	inqLoc, sumLoc := r.inqLoc(), r.sumLoc()
+	res := rs.team.For(rs.csr.NumLocal(), r.Opts.Chunk, func(lo, hi int64, load *machine.PhaseLoad) {
+		var edges, sumChecks, inqChecks, found int64
+		for i := lo; i < hi; i++ {
+			if rs.parent[i] >= 0 {
+				continue
+			}
+			v := rs.csr.Lo + i
+			for _, u := range rs.csr.Neighbors(v) {
+				edges++
+				sumChecks++
+				if rs.inSum.CoveredZero(u) {
+					continue // the summary proved in_queue[u] == 0
+				}
+				inqChecks++
+				if rs.inQ.Get(u) {
+					rs.parent[i] = u
+					rs.outQ.Set(v)
+					found++
+					nfLocal++
+					d := rs.csr.Degree(v)
+					mfLocal += d
+					rs.visitedCount++
+					rs.visitedEdges += d
+					break
+				}
+			}
+		}
+		load.Random = append(load.Random,
+			machine.Access{Count: sumChecks, StructBytes: r.sumBytes, Loc: sumLoc},
+			machine.Access{Count: inqChecks, StructBytes: r.inqBytes, Loc: inqLoc},
+			machine.Access{Count: found, StructBytes: rs.parentBytes(), Loc: r.pl.PrivateLoc},
+		)
+		// Parent scan + adjacency stream.
+		load.SeqBytes = (hi-lo)*8 + edges*8
+		load.SeqLoc = r.pl.GraphLoc
+		load.CPUOps = edges*2 + (hi - lo)
+	})
+	p.Compute(res.Ns)
+	rs.bd.Add(trace.BUComp, res.Ns)
+
+	rs.stallBarrier(p, trace.BUComm)
+
+	// Communication: the two allgathers of Fig. 1.
+	t0 := p.Clock()
+	rs.allgatherInQueue(p)
+	rs.allgatherSummary(p)
+	rs.bd.Add(trace.BUComm, p.Clock()-t0)
+	rs.bd.BUCommCount++
+
+	// Frontier accounting.
+	t0 = p.Clock()
+	nf = r.AllGroup.AllreduceSumInt64(p, nfLocal)
+	mf = r.AllGroup.AllreduceSumInt64(p, mfLocal)
+	rs.bd.Add(trace.BUComm, p.Clock()-t0)
+	return nf, mf
+}
+
+// outLoc is where this rank's out_queue segment lives.
+func (rs *rankState) outLoc() machine.Locality {
+	if rs.r.Opts.Opt >= OptShareAll {
+		return rs.r.sharedLoc()
+	}
+	return rs.r.pl.PrivateLoc
+}
+
+// switchToBottomUp converts the queued frontier (rs.next) into the
+// bitmap representation and performs the initial allgather so every rank
+// starts the bottom-up procedure with a coherent in_queue. Charged to
+// the Switch phase (Fig. 11).
+func (rs *rankState) switchToBottomUp(p *mpi.Proc) {
+	r := rs.r
+	t0 := p.Clock()
+
+	wlo := r.wordLayout.Displs[p.Rank()]
+	wcnt := r.wordLayout.Counts[p.Rank()]
+	own := rs.outQ.Words()[wlo : wlo+wcnt]
+	for i := range own {
+		own[i] = 0
+	}
+	frontier := int64(len(rs.next))
+	for _, v := range rs.next {
+		rs.outQ.Set(v)
+	}
+	rs.next = rs.next[:0]
+	load := machine.PhaseLoad{
+		Random:   []machine.Access{{Count: frontier, StructBytes: wcnt * 8, Loc: rs.outLoc()}},
+		SeqBytes: wcnt * 8,
+		SeqLoc:   rs.outLoc(),
+	}
+	p.Compute(rs.team.Parallel(load))
+
+	// Synchronize before touching shared buffers, then allgather.
+	p.Barrier()
+	rs.allgatherInQueue(p)
+	rs.allgatherSummary(p)
+	rs.bd.Add(trace.Switch, p.Clock()-t0)
+}
+
+// switchToTopDown extracts the owned slice of the freshly allgathered
+// in_queue into the frontier queue (parents were already set during the
+// bottom-up step). Charged to the Switch phase.
+func (rs *rankState) switchToTopDown(p *mpi.Proc) {
+	r := rs.r
+	t0 := p.Clock()
+	rs.queue = rs.queue[:0]
+	lo, hi := r.Part.Range(p.Rank())
+	words := rs.inQ.Words()
+	for w := lo / 64; w < (hi+63)/64; w++ {
+		wb := words[w]
+		for wb != 0 {
+			v := w*64 + int64(bits.TrailingZeros64(wb))
+			if v < hi {
+				rs.queue = append(rs.queue, v)
+			}
+			wb &= wb - 1
+		}
+	}
+	load := machine.PhaseLoad{
+		SeqBytes: (hi - lo) / 8,
+		SeqLoc:   r.inqLoc(),
+		CPUOps:   int64(len(rs.queue)) * 2,
+	}
+	p.Compute(rs.team.Parallel(load))
+	rs.bd.Add(trace.Switch, p.Clock()-t0)
+}

@@ -1,0 +1,83 @@
+package bfs
+
+import (
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+)
+
+// allgatherInQueue runs the in_queue allgather of Fig. 1 under the
+// configured optimization level. On entry every rank's new frontier bits
+// sit in its owned out_queue segment; on return every rank's in_queue
+// view holds the full new frontier bitmap.
+func (rs *rankState) allgatherInQueue(p *mpi.Proc) {
+	r := rs.r
+	rank := p.Rank()
+	wlo := r.wordLayout.Displs[rank]
+	wcnt := r.wordLayout.Counts[rank]
+	ownOut := rs.outQ.Words()[wlo : wlo+wcnt]
+
+	switch r.Opts.Opt {
+	case OptOriginal:
+		// Stage the owned segment into the private in_queue, then the
+		// MPI library's default allgather over all ranks.
+		copy(rs.inQ.Words()[wlo:wlo+wcnt], ownOut)
+		p.Compute(rs.team.Parallel(machine.PhaseLoad{
+			SeqBytes: wcnt * 16, SeqLoc: r.pl.PrivateLoc,
+		}))
+		r.AllGroup.Allgather(p, rs.inQ.Words(), r.wordLayout)
+
+	case OptShareInQueue:
+		// Children send their private segments to the node leader, which
+		// assembles the node-shared in_queue; no broadcast back.
+		r.NC.SharedInQueueAllgather(p, rs.inQ.Words(), ownOut, r.wordLayout)
+
+	case OptShareAll:
+		// out_queue is node-shared too: the leader reads children's
+		// segments directly; neither gather nor broadcast.
+		r.NC.SharedAllAgather(p, rs.inQ.Words(), rs.outQ.Words(), r.wordLayout)
+
+	case OptParAllgather:
+		// Per-socket subgroups allgather concurrently into the shared
+		// in_queue; each rank contributes its own (shared) out segment.
+		r.NC.ParallelAllgather(p, rs.inQ.Words(), ownOut, r.wordLayout)
+	}
+}
+
+// allgatherSummary rebuilds this rank's share of in_queue_summary from
+// the freshly allgathered in_queue and runs the summary allgather — the
+// second, much smaller allgather of Fig. 1.
+func (rs *rankState) allgatherSummary(p *mpi.Proc) {
+	r := rs.r
+	rank := p.Rank()
+	g := r.Opts.Granularity
+	n := r.Params.NumVertices()
+
+	// This rank's summary share in summary words -> base bit range.
+	slo := r.sumLayout.Displs[rank]
+	scnt := r.sumLayout.Counts[rank]
+	bitLo := slo * 64 * g
+	bitHi := (slo + scnt) * 64 * g
+	if bitLo > n {
+		bitLo = n
+	}
+	if bitHi > n {
+		bitHi = n
+	}
+	written := rs.inSum.RebuildRange(rs.inQ, bitLo, bitHi)
+	p.Compute(rs.team.Parallel(machine.PhaseLoad{
+		SeqBytes: (bitHi-bitLo)/8 + written*8,
+		SeqLoc:   r.inqLoc(),
+	}))
+
+	sumWords := rs.inSum.Bits().Words()
+	switch r.Opts.Opt {
+	case OptOriginal, OptShareInQueue:
+		// Private summary: the default allgather distributes the shares.
+		r.AllGroup.Allgather(p, sumWords, r.sumLayout)
+	case OptShareAll:
+		// Shared summary, contributions rebuilt in place.
+		r.NC.SharedInPlaceAllgather(p, sumWords, r.sumLayout)
+	case OptParAllgather:
+		r.NC.ParallelAllgatherInPlace(p, sumWords, r.sumLayout)
+	}
+}

@@ -1,0 +1,39 @@
+package bfs
+
+import (
+	"runtime"
+	"testing"
+
+	"numabfs/internal/machine"
+	"numabfs/internal/rmat"
+)
+
+// TestDeterministicAcrossHostParallelism: virtual time must not depend
+// on how the host schedules the rank goroutines — the core guarantee of
+// the execution-driven simulator. Run the same job under different
+// GOMAXPROCS settings and require bit-identical results.
+func TestDeterministicAcrossHostParallelism(t *testing.T) {
+	const scale = 12
+	params := rmat.Graph500(scale)
+	run := func() (float64, float64, int64) {
+		r, err := NewRunner(testConfig(scale, 2, 4), machine.PPN8Bind, params, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Setup()
+		root := params.Roots(1, r.HasEdgeGlobal)[0]
+		res := r.RunRoot(root)
+		return res.TimeNs, res.Breakdown.Total(), res.TraversedEdges
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	t1, b1, e1 := run()
+	runtime.GOMAXPROCS(4)
+	t4, b4, e4 := run()
+	runtime.GOMAXPROCS(prev)
+
+	if t1 != t4 || b1 != b4 || e1 != e4 {
+		t.Fatalf("host parallelism leaked into results: GOMAXPROCS=1 -> (%g, %g, %d); GOMAXPROCS=4 -> (%g, %g, %d)",
+			t1, b1, e1, t4, b4, e4)
+	}
+}

@@ -1,0 +1,277 @@
+package bfs
+
+import (
+	"fmt"
+
+	"numabfs/internal/bitmap"
+	"numabfs/internal/collective"
+	"numabfs/internal/graph"
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/omp"
+	"numabfs/internal/rmat"
+	"numabfs/internal/trace"
+)
+
+// Runner owns one simulated BFS job: the world of ranks, the partitioned
+// graph, and the per-rank state. Build one with NewRunner, call Setup
+// once (kernel 1), then RunRoot for each BFS root (kernel 2).
+type Runner struct {
+	W        *mpi.World
+	NC       *collective.NodeComm
+	AllGroup *collective.Group
+	Part     graph.Partition
+	Params   rmat.Params
+	Opts     Options
+
+	cfg machine.Config
+	pl  machine.Placement
+
+	// wordLayout maps rank -> in_queue word segment; sumLayout maps
+	// rank -> summary word segment (even split).
+	wordLayout collective.Layout
+	sumLayout  collective.Layout
+
+	inqBytes int64 // full in_queue size, for the cache model
+	sumBytes int64 // full summary size
+
+	states []*rankState
+
+	// totalEdges is the number of directed adjacencies across all ranks,
+	// used by the hybrid switch heuristic.
+	totalEdges int64
+
+	// SetupNs is the virtual time of distributed construction.
+	SetupNs float64
+}
+
+// rankState is the per-rank algorithm state.
+type rankState struct {
+	r    *Runner
+	csr  *graph.CSR
+	team omp.Team
+
+	parent []int64 // per owned vertex; -1 unvisited
+
+	inQ   *bitmap.Bitmap  // full bitmap over all vertices
+	outQ  *bitmap.Bitmap  // full bitmap; only the owned segment is written
+	inSum *bitmap.Summary // summary of inQ
+
+	sumSeg []uint64 // staging for this rank's summary share (Par variant)
+
+	queue, next []int64   // top-down frontier queues (owned vertices)
+	send        [][]int64 // top-down owner-routing buffers
+
+	visitedEdges int64 // sum of degrees of vertices this rank visited
+	visitedCount int64
+	bd           trace.Breakdown
+	levels       int
+	levelStats   []trace.LevelStat
+}
+
+// NewRunner builds a runner over cfg with the given placement policy.
+func NewRunner(cfg machine.Config, policy machine.Policy, params rmat.Params, opts Options) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	pl := machine.PlacementFor(cfg, policy)
+	w := mpi.NewWorld(cfg, pl)
+	np := w.NumProcs()
+	n := params.NumVertices()
+	if n < int64(np)*64 {
+		return nil, fmt.Errorf("bfs: scale %d too small for %d ranks (need >= 64 vertices per rank)", params.Scale, np)
+	}
+	part := graph.NewPartition(n, np)
+
+	r := &Runner{
+		W:        w,
+		NC:       collective.NewNodeComm(w),
+		AllGroup: collective.WorldGroup(w),
+		Part:     part,
+		Params:   params,
+		Opts:     opts,
+		cfg:      cfg,
+		pl:       pl,
+	}
+	r.wordLayout = collective.SegLayout(part.WordOffsets())
+	words := (n + 63) / 64
+	r.inqBytes = words * 8
+	sumWords := (n/opts.Granularity + 63) / 64
+	if sumWords < 1 {
+		sumWords = 1
+	}
+	r.sumLayout = collective.EvenLayout(sumWords, np)
+	r.sumBytes = sumWords * 8
+	r.states = make([]*rankState, np)
+	return r, nil
+}
+
+// sharedLoc is the locality of a node-shared structure: with one rank per
+// node "shared" degenerates to the rank's own interleaved memory.
+func (r *Runner) sharedLoc() machine.Locality {
+	if r.pl.ProcsPerNode == 1 {
+		return r.pl.PrivateLoc
+	}
+	return machine.NodeShared
+}
+
+// inqLoc returns where in_queue lives under the current optimization.
+func (r *Runner) inqLoc() machine.Locality {
+	if r.Opts.Opt >= OptShareInQueue {
+		return r.sharedLoc()
+	}
+	return r.pl.PrivateLoc
+}
+
+// sumLoc returns where in_queue_summary lives: the summaries are shared
+// from the ShareAll level on ("Share all means in_queue, out_queue,
+// in_queue_summary, and out_queue_summary are all shared" — Fig. 9).
+func (r *Runner) sumLoc() machine.Locality {
+	if r.Opts.Opt >= OptShareAll {
+		return r.sharedLoc()
+	}
+	return r.pl.PrivateLoc
+}
+
+// Setup runs distributed construction (kernel 1) and allocates per-rank
+// BFS state. Must be called exactly once before RunRoot.
+func (r *Runner) Setup() {
+	n := r.Params.NumVertices()
+	words := (n + 63) / 64
+	sumWords := r.sumLayout.TotalWords()
+	opt := r.Opts.Opt
+	r.W.Run(func(p *mpi.Proc) {
+		rank := p.Rank()
+		csr := graph.BuildDistributed(p, r.AllGroup, r.Part, r.Params, r.Opts.Dedup)
+		rs := &rankState{
+			r:    r,
+			csr:  csr,
+			team: omp.TeamFor(r.cfg, r.pl),
+		}
+		rs.parent = make([]int64, csr.NumLocal())
+
+		// in_queue: shared per node from ShareInQueue on.
+		if opt >= OptShareInQueue {
+			rs.inQ = bitmap.FromWords(p.SharedWords("in_queue", words), n)
+		} else {
+			rs.inQ = bitmap.New(n)
+		}
+		// out_queue and the summaries: shared from ShareAll on.
+		if opt >= OptShareAll {
+			rs.outQ = bitmap.FromWords(p.SharedWords("out_queue", words), n)
+			rs.inSum = summaryFromWords(p.SharedWords("in_summary", sumWords), n, r.Opts.Granularity)
+		} else {
+			rs.outQ = bitmap.New(n)
+			rs.inSum = bitmap.NewSummary(n, r.Opts.Granularity)
+		}
+		rs.sumSeg = make([]uint64, r.sumLayout.Counts[rank])
+		rs.send = make([][]int64, r.W.NumProcs())
+		r.states[rank] = rs
+	})
+	r.SetupNs = r.W.MaxClock()
+	r.W.ResetClocks()
+	r.totalEdges = 0
+	for _, rs := range r.states {
+		r.totalEdges += rs.csr.NumEdges()
+	}
+}
+
+// summaryFromWords wraps a shared word slice as a Summary.
+func summaryFromWords(words []uint64, n, g int64) *bitmap.Summary {
+	return bitmap.WrapSummary(bitmap.FromWords(words, (n+g-1)/g), g, n)
+}
+
+// State returns rank r's state (post-run inspection and tests).
+func (r *Runner) State(rank int) *RankView {
+	rs := r.states[rank]
+	return &RankView{
+		CSR:          rs.csr,
+		Parent:       rs.parent,
+		Breakdown:    rs.bd,
+		VisitedEdges: rs.visitedEdges,
+		VisitedCount: rs.visitedCount,
+	}
+}
+
+// RankView is a read-only view of a rank's results.
+type RankView struct {
+	CSR          *graph.CSR
+	Parent       []int64
+	Breakdown    trace.Breakdown
+	VisitedEdges int64
+	VisitedCount int64
+}
+
+// HasEdgeGlobal reports whether vertex v has any incident edge, by asking
+// its owner's CSR. Used for Graph500 root selection.
+func (r *Runner) HasEdgeGlobal(v int64) bool {
+	rs := r.states[r.Part.Owner(v)]
+	return rs.csr.HasEdge(v)
+}
+
+// ParentArrays returns each rank's parent array (aliases; do not modify).
+func (r *Runner) ParentArrays() [][]int64 {
+	out := make([][]int64, len(r.states))
+	for i, rs := range r.states {
+		out[i] = rs.parent
+	}
+	return out
+}
+
+// RootResult summarizes one BFS iteration (one root).
+type RootResult struct {
+	Root           int64
+	TimeNs         float64 // virtual wall time of the iteration
+	TraversedEdges int64   // undirected edges in the traversed component
+	Visited        int64   // vertices reached
+	TEPS           float64
+	Levels         int
+	Breakdown      trace.Breakdown // mean across ranks
+	// LevelStats is the frontier growth curve (rank 0's view; the
+	// frontier values are allreduced and identical everywhere).
+	LevelStats []trace.LevelStat
+	// CommBytes is the exact total network volume (intra- plus
+	// inter-node MPI bytes) of the iteration.
+	CommBytes int64
+}
+
+// RunRoot runs one BFS from root and returns its result. Rank clocks are
+// reset, so TimeNs is the iteration's virtual duration.
+func (r *Runner) RunRoot(root int64) RootResult {
+	if len(r.states) == 0 || r.states[0] == nil {
+		panic("bfs: RunRoot before Setup")
+	}
+	r.W.ResetClocks()
+	r.W.Run(func(p *mpi.Proc) {
+		r.states[p.Rank()].runBFS(p, root)
+	})
+	res := RootResult{Root: root, TimeNs: r.W.MaxClock()}
+	var bd trace.Breakdown
+	for _, rs := range r.states {
+		res.TraversedEdges += rs.visitedEdges
+		res.Visited += rs.visitedCount
+		bd.Merge(rs.bd)
+		if rs.levels > res.Levels {
+			res.Levels = rs.levels
+		}
+	}
+	res.TraversedEdges /= 2 // each undirected edge counted at both endpoints
+	bd.Scale(1 / float64(len(r.states)))
+	bd.TDLevels = r.states[0].bd.TDLevels
+	bd.BULevels = r.states[0].bd.BULevels
+	bd.BUCommCount = r.states[0].bd.BUCommCount
+	res.Breakdown = bd
+	res.LevelStats = append([]trace.LevelStat(nil), r.states[0].levelStats...)
+	vol := r.W.Net().Volume()
+	res.CommBytes = vol.IntraBytes + vol.InterBytes
+	if res.TimeNs > 0 {
+		res.TEPS = float64(res.TraversedEdges) / (res.TimeNs / 1e9)
+	}
+	return res
+}

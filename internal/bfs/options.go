@@ -1,0 +1,134 @@
+// Package bfs implements the paper's hybrid top-down / bottom-up BFS for
+// distributed-memory NUMA clusters (after Beamer et al. and the Graph500
+// reference code), together with every optimization level of Fig. 9:
+//
+//   - OptOriginal: the baseline — private in_queue/out_queue bitmaps per
+//     rank, communication through the MPI library's default allgather
+//     (recursive doubling / ring by size).
+//   - OptShareInQueue: one in_queue (and in_queue_summary) mapping per
+//     node shared by its ranks; leader-based allgather without the
+//     broadcast step (Fig. 5b, step 3 eliminated).
+//   - OptShareAll: out_queue and out_queue_summary shared too, so the
+//     leader reads children's segments directly — the gather step also
+//     disappears (Fig. 5b, step 1 eliminated).
+//   - OptParAllgather: the inter-node allgather is split over per-socket
+//     subgroups running concurrently so all NIC streams are used
+//     (Fig. 7, Eq. 2).
+//
+// The summary-bitmap granularity (Section III.C, Fig. 16) and the
+// process placement policy (Fig. 10) are orthogonal options.
+package bfs
+
+import "fmt"
+
+// Opt is an optimization level, cumulative in the order of Fig. 9.
+type Opt int
+
+const (
+	// OptOriginal is the unmodified hybrid BFS.
+	OptOriginal Opt = iota
+	// OptShareInQueue shares in_queue and in_queue_summary per node.
+	OptShareInQueue
+	// OptShareAll also shares out_queue and out_queue_summary.
+	OptShareAll
+	// OptParAllgather additionally parallelizes the inter-node allgather.
+	OptParAllgather
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (o Opt) String() string {
+	switch o {
+	case OptOriginal:
+		return "Original"
+	case OptShareInQueue:
+		return "Share in_queue"
+	case OptShareAll:
+		return "Share all"
+	case OptParAllgather:
+		return "Par allgather"
+	default:
+		return fmt.Sprintf("Opt(%d)", int(o))
+	}
+}
+
+// Mode selects the traversal algorithm; the paper's intro compares the
+// hybrid against pure top-down and pure bottom-up on one 64-core node.
+type Mode int
+
+const (
+	// ModeHybrid switches between top-down and bottom-up by frontier
+	// size, Beamer-style.
+	ModeHybrid Mode = iota
+	// ModeTopDown always explores from the frontier (mpi_simple-like).
+	ModeTopDown
+	// ModeBottomUp always scans unvisited vertices (mpi_replicated-like).
+	ModeBottomUp
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeHybrid:
+		return "hybrid"
+	case ModeTopDown:
+		return "top-down"
+	case ModeBottomUp:
+		return "bottom-up"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures one BFS engine.
+type Options struct {
+	Opt  Opt
+	Mode Mode
+	// Granularity is the number of in_queue bits one summary bit covers
+	// (Graph500 reference: 64; the paper's best: 256).
+	Granularity int64
+	// Alpha is the top-down -> bottom-up switch threshold: switch when
+	// frontier edges exceed unexplored edges / Alpha. Beamer's published
+	// value is 14; the default here is 30, which at laptop scales fires
+	// the switch at the same point of the frontier's growth curve as the
+	// paper observes at scale 28-32 — one level earlier, entering the
+	// bottom-up procedure while in_queue is still sparse, the regime in
+	// which in_queue_summary is worth its keep (Section III.C).
+	Alpha float64
+	// Beta is the bottom-up -> top-down threshold: switch back when the
+	// frontier shrinks below vertices / Beta (Beamer's 24).
+	Beta float64
+	// Dedup removes duplicate adjacencies during construction.
+	Dedup bool
+	// Chunk is the OpenMP dynamic-schedule chunk size in vertices.
+	Chunk int64
+}
+
+// DefaultOptions returns the reference-code defaults.
+func DefaultOptions() Options {
+	return Options{
+		Opt:         OptOriginal,
+		Mode:        ModeHybrid,
+		Granularity: 64,
+		Alpha:       30,
+		Beta:        24,
+		Dedup:       true,
+		Chunk:       1024,
+	}
+}
+
+// Validate reports an option error, or nil.
+func (o Options) Validate() error {
+	if o.Granularity <= 0 || o.Granularity%64 != 0 {
+		return fmt.Errorf("bfs: granularity %d must be a positive multiple of 64", o.Granularity)
+	}
+	if o.Alpha <= 0 || o.Beta <= 0 {
+		return fmt.Errorf("bfs: alpha/beta must be positive")
+	}
+	if o.Chunk <= 0 {
+		return fmt.Errorf("bfs: chunk %d must be positive", o.Chunk)
+	}
+	if o.Opt < OptOriginal || o.Opt > OptParAllgather {
+		return fmt.Errorf("bfs: unknown optimization level %d", int(o.Opt))
+	}
+	return nil
+}

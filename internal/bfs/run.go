@@ -1,0 +1,120 @@
+package bfs
+
+import (
+	"numabfs/internal/mpi"
+	"numabfs/internal/trace"
+)
+
+// runBFS executes one BFS iteration on this rank. All ranks execute the
+// same level sequence in lockstep; every control decision (mode switch,
+// termination) is derived from allreduced values, so the collective call
+// pattern is identical across ranks by construction.
+func (rs *rankState) runBFS(p *mpi.Proc, root int64) {
+	r := rs.r
+	rs.reset()
+
+	lo, _ := rs.csr.Lo, rs.csr.Hi
+	nfLocal, mfLocal := int64(0), int64(0)
+	if r.Part.Owner(root) == p.Rank() {
+		rs.parent[root-lo] = root
+		rs.next = append(rs.next, root)
+		rs.visitedCount = 1
+		rs.visitedEdges = rs.csr.Degree(root)
+		nfLocal, mfLocal = 1, rs.visitedEdges
+	}
+	// The initial frontier's size/edges (known to all via allreduce; the
+	// reference code knows them implicitly, we pay two scalar messages).
+	t0 := p.Clock()
+	nf := r.AllGroup.AllreduceSumInt64(p, nfLocal)
+	mf := r.AllGroup.AllreduceSumInt64(p, mfLocal)
+	rs.bd.Add(trace.TDComm, p.Clock()-t0)
+	visitedEdgesGlobal := mf
+	totalEdges := r.totalEdges
+
+	bottomUp := r.Opts.Mode == ModeBottomUp
+	if bottomUp {
+		// Pure bottom-up starts by converting the root frontier.
+		rs.switchToBottomUp(p)
+	} else {
+		rs.promoteNext()
+	}
+
+	prevNf := nf
+	for nf > 0 {
+		rs.levels++
+		levelStart := p.Clock()
+		var dnf, dmf int64
+		if bottomUp {
+			dnf, dmf = rs.bottomUpLevel(p)
+			rs.bd.BULevels++
+		} else {
+			dnf, dmf = rs.topDownLevel(p)
+			rs.bd.TDLevels++
+		}
+		nf, mf = dnf, dmf
+		visitedEdgesGlobal += dmf
+		rs.levelStats = append(rs.levelStats, trace.LevelStat{
+			Level: rs.levels, BottomUp: bottomUp, NF: nf, MF: mf,
+			Ns: p.Clock() - levelStart,
+		})
+		if nf == 0 {
+			break
+		}
+		if r.Opts.Mode != ModeHybrid {
+			if bottomUp {
+				// Pure bottom-up: the new frontier is already in in_queue.
+				continue
+			}
+			rs.promoteNext()
+			continue
+		}
+		// Hybrid switching, Beamer-style. Top-down only hands over to
+		// bottom-up while the frontier is still growing — in the final
+		// shrinking levels the unexplored-edge count is tiny and the
+		// threshold would otherwise flap back and forth.
+		if !bottomUp {
+			unexplored := totalEdges - visitedEdgesGlobal
+			if nf > prevNf && float64(mf) > float64(unexplored)/r.Opts.Alpha {
+				rs.switchToBottomUp(p)
+				bottomUp = true
+			} else {
+				rs.promoteNext()
+			}
+		} else if float64(nf) < float64(r.Params.NumVertices())/r.Opts.Beta {
+			rs.switchToTopDown(p)
+			bottomUp = false
+		}
+		prevNf = nf
+	}
+}
+
+// reset clears per-root state. Bitmaps need no clearing: in_queue and the
+// summary are fully overwritten by the first allgather, and the owned
+// out_queue segment is cleared at the start of every bottom-up level.
+func (rs *rankState) reset() {
+	for i := range rs.parent {
+		rs.parent[i] = -1
+	}
+	rs.queue = rs.queue[:0]
+	rs.next = rs.next[:0]
+	rs.visitedEdges = 0
+	rs.visitedCount = 0
+	rs.bd = trace.Breakdown{}
+	rs.levels = 0
+	rs.levelStats = rs.levelStats[:0]
+}
+
+// promoteNext makes the freshly discovered frontier current (top-down).
+func (rs *rankState) promoteNext() {
+	rs.queue, rs.next = rs.next, rs.queue[:0]
+}
+
+// stallBarrier separates computation from communication the way the
+// paper's profiling does: the wait at the barrier is load-imbalance stall
+// (Fig. 11), the dissemination rounds themselves are communication.
+func (rs *rankState) stallBarrier(p *mpi.Proc, comm trace.Phase) {
+	t0 := p.Clock()
+	wait := p.Barrier()
+	rs.bd.Add(trace.Stall, wait)
+	rs.bd.Add(comm, p.Clock()-t0-wait)
+}

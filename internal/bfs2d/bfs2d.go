@@ -1,0 +1,173 @@
+// Package bfs2d implements the two-dimensional partitioned BFS of Buluç
+// and Madduri (SC'11), which the paper's related-work section singles
+// out as orthogonal to its NUMA optimizations: "our implementation could
+// be applied to 2-D partition algorithm to further reduce its
+// communication overhead".
+//
+// The np = R x C ranks form a processor grid. The vertex set is split
+// into np blocks; rank (i, j) owns block j*R+i (so a processor column j
+// collectively owns the contiguous vertex range C_j) and stores the
+// adjacency entries (u, v) with u in C_j and v in a block of grid row i.
+// A top-down level is then:
+//
+//	expand: allgather the frontier's C_j vertices down processor
+//	        column j (R ranks);
+//	local:  scan the local adjacency of the expanded frontier,
+//	        producing (child, parent) candidates;
+//	fold:   alltoallv the candidates along the grid row (C ranks) to
+//	        the child's owner, which resolves visitation.
+//
+// Communication therefore involves groups of R and C ranks instead of
+// all np — the structural reason 2-D partitioning cuts BFS
+// communication, here measurable against the 1-D engine on the same
+// simulated cluster (the Ext experiment).
+package bfs2d
+
+import (
+	"fmt"
+
+	"numabfs/internal/collective"
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/omp"
+	"numabfs/internal/rmat"
+	"numabfs/internal/trace"
+)
+
+// Grid describes the processor grid.
+type Grid struct {
+	R, C int // rows x columns; R*C ranks
+}
+
+// DefaultGrid splits np into the most square power-of-two grid.
+func DefaultGrid(np int) Grid {
+	if np&(np-1) != 0 {
+		// Fall back to a single row for non-power-of-two rank counts.
+		return Grid{R: 1, C: np}
+	}
+	log := 0
+	for v := np; v > 1; v >>= 1 {
+		log++
+	}
+	r := 1 << uint(log/2)
+	return Grid{R: r, C: np / r}
+}
+
+// Runner is the 2-D BFS engine. Build with NewRunner, call Setup once,
+// then RunRoot per source.
+type Runner struct {
+	W      *mpi.World
+	Grid   Grid
+	Params rmat.Params
+
+	cfg machine.Config
+	pl  machine.Placement
+
+	blockSize int64 // vertices per block (n / np)
+
+	cols []*collective.Group // column group per j: ranks (0..R-1, j)
+	rows []*collective.Group // row group per i: ranks (i, 0..C-1)
+
+	states []*rankState
+
+	// SetupNs is the virtual construction time.
+	SetupNs float64
+}
+
+// rankState is one rank's 2-D state.
+type rankState struct {
+	r    *Runner
+	i, j int
+	team omp.Team
+
+	// Local adjacency: for u in colRange (relative), neighbours v that
+	// fall into this grid row's blocks.
+	rowPtr []int64
+	col    []int64
+
+	// Owned vertex block state.
+	parent []int64
+
+	frontier []int64 // owned frontier entering the next level
+	bd       trace.Breakdown
+	levels   int
+
+	// sent stamps deduplicate fold candidates: a vertex discovered by
+	// several local frontier sources is sent to its owner once per level
+	// (Buluç & Madduri's optimization — the column aggregates R blocks'
+	// worth of edges, so duplicates are common). Indexed by the
+	// destination-ordinal and in-block offset of v; stamp equality means
+	// "already sent this level".
+	sent      []int64
+	sentStamp int64
+}
+
+// NewRunner builds a 2-D runner. The placement policy fixes ranks per
+// node exactly as in the 1-D engine.
+func NewRunner(cfg machine.Config, policy machine.Policy, grid Grid, params rmat.Params) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	pl := machine.PlacementFor(cfg, policy)
+	w := mpi.NewWorld(cfg, pl)
+	np := w.NumProcs()
+	if grid.R*grid.C != np {
+		return nil, fmt.Errorf("bfs2d: grid %dx%d does not match %d ranks", grid.R, grid.C, np)
+	}
+	n := params.NumVertices()
+	if n%int64(np) != 0 {
+		return nil, fmt.Errorf("bfs2d: %d vertices not divisible by %d ranks", n, np)
+	}
+	r := &Runner{
+		W: w, Grid: grid, Params: params,
+		cfg: cfg, pl: pl,
+		blockSize: n / int64(np),
+	}
+	r.cols = make([]*collective.Group, grid.C)
+	for j := 0; j < grid.C; j++ {
+		ranks := make([]int, grid.R)
+		for i := 0; i < grid.R; i++ {
+			ranks[i] = r.rankOf(i, j)
+		}
+		r.cols[j] = collective.NewGroup(w, ranks)
+	}
+	r.rows = make([]*collective.Group, grid.R)
+	for i := 0; i < grid.R; i++ {
+		ranks := make([]int, grid.C)
+		for j := 0; j < grid.C; j++ {
+			ranks[j] = r.rankOf(i, j)
+		}
+		r.rows[i] = collective.NewGroup(w, ranks)
+	}
+	r.states = make([]*rankState, np)
+	return r, nil
+}
+
+// rankOf maps grid coordinates to a rank: grid rows vary fastest within
+// a processor column, and a column's R ranks are consecutive — on an
+// R-ranks-per-node placement a whole column lands on one node, giving
+// the expand phase intra-node communication.
+func (r *Runner) rankOf(i, j int) int { return j*r.Grid.R + i }
+
+// gridOf inverts rankOf.
+func (r *Runner) gridOf(rank int) (i, j int) { return rank % r.Grid.R, rank / r.Grid.R }
+
+// block returns the block id owned by grid position (i, j).
+func (r *Runner) block(i, j int) int64 { return int64(j*r.Grid.R + i) }
+
+// ownerOf returns the rank owning vertex v's block.
+func (r *Runner) ownerOf(v int64) int { return int(v / r.blockSize) }
+
+// colRange returns the contiguous vertex range of processor column j.
+func (r *Runner) colRange(j int) (lo, hi int64) {
+	lo = int64(j) * int64(r.Grid.R) * r.blockSize
+	return lo, lo + int64(r.Grid.R)*r.blockSize
+}
+
+// rowOwns reports whether vertex v's block belongs to grid row i.
+func (r *Runner) rowOwns(i int, v int64) bool {
+	return int(v/r.blockSize)%r.Grid.R == i
+}

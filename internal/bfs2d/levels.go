@@ -1,0 +1,49 @@
+package bfs2d
+
+// HasEdgeGlobal reports whether vertex v has any stored adjacency, by
+// consulting the processor column that stores v's out-edges. Used for
+// Graph500-style root selection.
+func (r *Runner) HasEdgeGlobal(v int64) bool {
+	j := int(v / (int64(r.Grid.R) * r.blockSize))
+	cLo, _ := r.colRange(j)
+	for i := 0; i < r.Grid.R; i++ {
+		rs := r.states[r.rankOf(i, j)]
+		if rs.rowPtr[v-cLo+1] > rs.rowPtr[v-cLo] {
+			return true
+		}
+	}
+	return false
+}
+
+// Levels reconstructs the global level array from the per-rank parent
+// blocks left by the last RunRoot (-1 for unreached vertices). Used by
+// the validator-style tests and the experiment drivers.
+func (r *Runner) Levels(root int64) []int64 {
+	n := r.Params.NumVertices()
+	parent := make([]int64, n)
+	for rank, rs := range r.states {
+		lo := int64(rank) * r.blockSize
+		copy(parent[lo:lo+r.blockSize], rs.parent)
+	}
+	level := make([]int64, n)
+	for i := range level {
+		level[i] = -1
+	}
+	if parent[root] < 0 {
+		return level
+	}
+	level[root] = 0
+	for changed := true; changed; {
+		changed = false
+		for v := int64(0); v < n; v++ {
+			if level[v] >= 0 || parent[v] < 0 {
+				continue
+			}
+			if pl := level[parent[v]]; pl >= 0 {
+				level[v] = pl + 1
+				changed = true
+			}
+		}
+	}
+	return level
+}

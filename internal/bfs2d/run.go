@@ -1,0 +1,197 @@
+package bfs2d
+
+import (
+	"numabfs/internal/collective"
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/trace"
+)
+
+// RootResult summarizes one 2-D BFS iteration.
+type RootResult struct {
+	Root           int64
+	TimeNs         float64
+	Visited        int64
+	TraversedEdges int64
+	TEPS           float64
+	Levels         int
+	Breakdown      trace.Breakdown // mean across ranks
+	// CommBytes is the exact total network volume (intra + inter) of
+	// the iteration, for comparison with the 1-D engine.
+	CommBytes int64
+}
+
+// RunRoot runs one top-down 2-D BFS from root.
+func (r *Runner) RunRoot(root int64) RootResult {
+	if len(r.states) == 0 || r.states[0] == nil {
+		panic("bfs2d: RunRoot before Setup")
+	}
+	r.W.ResetClocks()
+	all := collective.WorldGroup(r.W)
+	r.W.Run(func(p *mpi.Proc) {
+		rs := r.states[p.Rank()]
+		rs.run(p, all, root)
+	})
+	res := RootResult{Root: root, TimeNs: r.W.MaxClock()}
+	var bd trace.Breakdown
+	for _, rs := range r.states {
+		bd.Merge(rs.bd)
+		for _, pa := range rs.parent {
+			if pa >= 0 {
+				res.Visited++
+			}
+		}
+		if rs.levelsRun() > res.Levels {
+			res.Levels = rs.levelsRun()
+		}
+	}
+	// Traversed edges: sum local adjacencies whose source was visited;
+	// every undirected edge is stored twice across the grid.
+	for _, rs := range r.states {
+		cLo, cHi := r.colRange(rs.j)
+		for u := cLo; u < cHi; u++ {
+			if r.states[r.ownerOf(u)].parentOf(u) >= 0 {
+				res.TraversedEdges += rs.rowPtr[u-cLo+1] - rs.rowPtr[u-cLo]
+			}
+		}
+	}
+	res.TraversedEdges /= 2
+	bd.Scale(1 / float64(len(r.states)))
+	res.Breakdown = bd
+	vol := r.W.Net().Volume()
+	res.CommBytes = vol.IntraBytes + vol.InterBytes
+	if res.TimeNs > 0 {
+		res.TEPS = float64(res.TraversedEdges) / (res.TimeNs / 1e9)
+	}
+	return res
+}
+
+// parentOf returns the parent of owned vertex v.
+func (rs *rankState) parentOf(v int64) int64 {
+	return rs.parent[v-rs.ownLo()]
+}
+
+// levelsRun reports how many levels this rank recorded.
+func (rs *rankState) levelsRun() int { return rs.levels }
+
+// run executes the lockstep level loop on this rank.
+func (rs *rankState) run(p *mpi.Proc, all *collective.Group, root int64) {
+	r := rs.r
+	rs.reset()
+
+	lo := rs.ownLo()
+	var nfLocal int64
+	if r.ownerOf(root) == p.Rank() {
+		rs.parent[root-lo] = root
+		rs.frontier = append(rs.frontier, root)
+		nfLocal = 1
+	}
+	t0 := p.Clock()
+	nf := all.AllreduceSumInt64(p, nfLocal)
+	rs.bd.Add(trace.TDComm, p.Clock()-t0)
+
+	col := r.cols[rs.j]
+	row := r.rows[rs.i]
+	send := make([][]int64, r.Grid.C)
+
+	for nf > 0 {
+		rs.levels++
+
+		// EXPAND: gather the frontier of this column's blocks down the
+		// processor column.
+		t0 = p.Clock()
+		lists := col.AllgathervInt64(p, rs.frontier)
+		rs.bd.Add(trace.TDComm, p.Clock()-t0)
+
+		// LOCAL: scan the expanded frontier's local adjacency.
+		for c := range send {
+			send[c] = send[c][:0]
+		}
+		rs.sentStamp++
+		var edges, frontierLen, sentPairs int64
+		for _, list := range lists {
+			frontierLen += int64(len(list))
+			for _, u := range list {
+				for _, v := range rs.neighbors(u) {
+					edges++
+					// v's owner sits in this grid row at column j(v).
+					jc := int(v / (int64(r.Grid.R) * r.blockSize))
+					// Send each candidate once per level: the column
+					// aggregates R blocks of edges, so the same child is
+					// typically discovered many times locally.
+					si := int64(jc)*r.blockSize + v%r.blockSize
+					if rs.sent[si] == rs.sentStamp {
+						continue
+					}
+					rs.sent[si] = rs.sentStamp
+					sentPairs++
+					send[jc] = append(send[jc], v, u)
+				}
+			}
+		}
+		load := machine.PhaseLoad{
+			Random: []machine.Access{
+				{Count: frontierLen, StructBytes: int64(len(rs.col)+len(rs.rowPtr)) * 8, Loc: r.pl.GraphLoc},
+				// The dedup stamps are probed once per scanned edge.
+				{Count: edges, StructBytes: int64(len(rs.sent)) * 8, Loc: r.pl.PrivateLoc},
+			},
+			SeqBytes: edges*8 + sentPairs*16,
+			SeqLoc:   r.pl.GraphLoc,
+			CPUOps:   edges * 3,
+		}
+		ns := rs.team.ForBalanced(edges, 256, load)
+		p.Compute(ns)
+		rs.bd.Add(trace.TDComp, ns)
+
+		// FOLD: route candidates along the grid row to their owners.
+		t0 = p.Clock()
+		wait := p.Barrier()
+		rs.bd.Add(trace.Stall, wait)
+		rs.bd.Add(trace.TDComm, p.Clock()-t0-wait)
+		t0 = p.Clock()
+		recv := row.AlltoallvInt64(p, send)
+		rs.bd.Add(trace.TDComm, p.Clock()-t0)
+
+		// Resolve visitation at the owners.
+		rs.frontier = rs.frontier[:0]
+		nfLocal = 0
+		var pairs int64
+		for _, vec := range recv {
+			for k := 0; k+1 < len(vec); k += 2 {
+				pairs++
+				v, u := vec[k], vec[k+1]
+				if i := v - lo; rs.parent[i] < 0 {
+					rs.parent[i] = u
+					rs.frontier = append(rs.frontier, v)
+					nfLocal++
+				}
+			}
+		}
+		proc := machine.PhaseLoad{
+			Random: []machine.Access{
+				{Count: pairs, StructBytes: r.blockSize * 8, Loc: r.pl.PrivateLoc},
+			},
+			SeqBytes: pairs * 16,
+			SeqLoc:   r.pl.PrivateLoc,
+			CPUOps:   pairs * 2,
+		}
+		ns = rs.team.ForBalanced(pairs, 256, proc)
+		p.Compute(ns)
+		rs.bd.Add(trace.TDComp, ns)
+
+		t0 = p.Clock()
+		nf = all.AllreduceSumInt64(p, nfLocal)
+		rs.bd.Add(trace.TDComm, p.Clock()-t0)
+		rs.bd.TDLevels++
+	}
+}
+
+// reset clears per-root state.
+func (rs *rankState) reset() {
+	for i := range rs.parent {
+		rs.parent[i] = -1
+	}
+	rs.frontier = rs.frontier[:0]
+	rs.bd = trace.Breakdown{}
+	rs.levels = 0
+}

@@ -1,0 +1,63 @@
+package bitmap
+
+import "testing"
+
+// FuzzSummaryConsistency drives random set/clear sequences against every
+// granularity and asserts the rebuilt summary never lies: CoveredZero
+// must imply an all-zero granule.
+func FuzzSummaryConsistency(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(0))
+	f.Add([]byte{255, 0, 128, 7}, uint8(3))
+	f.Fuzz(func(t *testing.T, ops []byte, gPick uint8) {
+		const n = 1 << 12
+		gs := []int64{64, 128, 256, 512}
+		g := gs[int(gPick)%len(gs)]
+		b := New(n)
+		for i, op := range ops {
+			idx := (int64(op)*131 + int64(i)*7919) % n
+			if op%3 == 0 {
+				b.Clear(idx)
+			} else {
+				b.Set(idx)
+			}
+		}
+		s := NewSummary(n, g)
+		s.Rebuild(b)
+		if !s.Consistent(b) {
+			t.Fatalf("g=%d: summary inconsistent after %d ops", g, len(ops))
+		}
+		for i := int64(0); i < n; i++ {
+			if s.CoveredZero(i) && b.Get(i) {
+				t.Fatalf("g=%d: CoveredZero lied at bit %d", g, i)
+			}
+		}
+	})
+}
+
+// FuzzBitmapSetGet cross-checks the word-packed bitmap against a map.
+func FuzzBitmapSetGet(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, idxs []byte) {
+		const n = 2048
+		b := New(n)
+		ref := map[int64]bool{}
+		for i, x := range idxs {
+			idx := (int64(x)*257 + int64(i)) % n
+			if x%2 == 0 {
+				b.Set(idx)
+				ref[idx] = true
+			} else {
+				b.Clear(idx)
+				delete(ref, idx)
+			}
+		}
+		if b.Count() != int64(len(ref)) {
+			t.Fatalf("count %d, want %d", b.Count(), len(ref))
+		}
+		for i := int64(0); i < n; i++ {
+			if b.Get(i) != ref[i] {
+				t.Fatalf("bit %d: %v, want %v", i, b.Get(i), ref[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package collective
+
+import (
+	"math/bits"
+
+	"numabfs/internal/mpi"
+)
+
+// RingThresholdBytes is the default Thakur–Gropp switch point: recursive
+// doubling for shorter allgathers, ring for longer ones (as in
+// MPICH/Open MPI). The machine configuration can override it (and the
+// Scaled preset shrinks it along with the payloads).
+const RingThresholdBytes = 512 << 10
+
+// tag space: each collective family uses a distinct, widely spaced base
+// (steps are added to the base) so mismatched programs fail loudly.
+const (
+	tagRing      = 0x1000
+	tagRecDouble = 0x2000
+	tagGather    = 0x3000
+	tagBcast     = 0x4000
+	tagAlltoall  = 0x5000
+	tagAllreduce = 0x6000
+)
+
+// Allgather performs an allgatherv over the group into buf: member i's
+// segment (layout seg i) must already be in place in its own buf; on
+// return every member's buf holds all segments. Algorithm selection
+// models the MPI library default (Thakur-Gropp): recursive doubling for
+// short payloads on power-of-two groups, ring for long payloads — the
+// in_queue allgather is always in the ring regime at paper scales.
+func (g *Group) Allgather(p *mpi.Proc, buf []uint64, l Layout) {
+	threshold := p.World().Config().AllgatherRingThreshold
+	if threshold <= 0 {
+		threshold = RingThresholdBytes
+	}
+	n := g.Size()
+	if n&(n-1) == 0 && l.TotalWords()*8 < threshold {
+		g.AllgatherRecDouble(p, buf, l)
+		return
+	}
+	g.AllgatherRing(p, buf, l)
+}
+
+// AllgatherRing is the ring (bucket) allgatherv: n-1 steps; at step s
+// member i forwards the segment it received at step s-1 (starting with
+// its own) to its successor. Total traffic is m*(n-1) bytes — Eq. (1).
+func (g *Group) AllgatherRing(p *mpi.Proc, buf []uint64, l Layout) {
+	// The send topology is the same in every step: i -> i+1.
+	n := g.Size()
+	sendTo := make([]int, n)
+	for i := range sendTo {
+		sendTo[i] = (i + 1) % n
+	}
+	streams := g.stepStreams(sendTo)
+	g.allgatherRingStreams(p, buf, l, streams[g.Pos(p.Rank())])
+}
+
+// allgatherRingStreams is AllgatherRing with an explicit stream count,
+// used by the parallelized allgather where several subgroups run
+// concurrently and each must account for the others' NIC streams.
+func (g *Group) allgatherRingStreams(p *mpi.Proc, buf []uint64, l Layout, streams int) {
+	n := g.Size()
+	if n == 1 {
+		return
+	}
+	me := g.Pos(p.Rank())
+	next := g.ranks[(me+1)%n]
+	prev := g.ranks[(me-1+n)%n]
+
+	for s := 0; s < n-1; s++ {
+		sendID := (me - s + n) % n
+		recvID := (me - s - 1 + n) % n
+		payload := blocks{ids: []int{sendID}, data: [][]uint64{l.seg(buf, sendID)}}
+		m := p.SendRecv(next, tagRing+s, payload.words()*8, payload, prev, tagRing+s, streams)
+		in := m.Payload.(blocks)
+		for k, id := range in.ids {
+			if id != recvID {
+				panic("collective: ring allgather received unexpected segment")
+			}
+			copy(l.seg(buf, id), in.data[k])
+		}
+	}
+}
+
+// AllgatherRecDouble is the recursive-doubling allgatherv for
+// power-of-two group sizes: log2(n) steps; at step k, members at distance
+// 2^k exchange everything they hold. Short-message optimal.
+func (g *Group) AllgatherRecDouble(p *mpi.Proc, buf []uint64, l Layout) {
+	n := g.Size()
+	if n == 1 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("collective: recursive doubling needs a power-of-two group")
+	}
+	me := g.Pos(p.Rank())
+	steps := bits.TrailingZeros(uint(n))
+	sendTo := make([]int, n)
+	for k := 0; k < steps; k++ {
+		d := 1 << uint(k)
+		for i := range sendTo {
+			sendTo[i] = i ^ d
+		}
+		streams := g.stepStreams(sendTo)
+		partner := me ^ d
+		// After k steps I hold the d segments of my d-aligned block;
+		// my partner holds the sibling block of the 2d-aligned pair.
+		myBase := me &^ (d - 1)
+		pBase := partner &^ (d - 1)
+		own := make([]int, 0, d)
+		theirs := make([]int, 0, d)
+		for i := 0; i < d; i++ {
+			own = append(own, myBase+i)
+			theirs = append(theirs, pBase+i)
+		}
+		payload := blocks{ids: own, data: make([][]uint64, len(own))}
+		for j, id := range own {
+			payload.data[j] = l.seg(buf, id)
+		}
+		m := p.SendRecv(g.ranks[partner], tagRecDouble+k, payload.words()*8, payload,
+			g.ranks[partner], tagRecDouble+k, streams[me])
+		in := m.Payload.(blocks)
+		for j, id := range in.ids {
+			if id != theirs[j] {
+				panic("collective: recursive doubling received unexpected segment")
+			}
+			copy(l.seg(buf, id), in.data[j])
+		}
+	}
+}
+
+// AllreduceSumInt64 returns the sum of x over the group using recursive
+// doubling on 8-byte scalars (with a fold-in preliminary step for
+// non-power-of-two sizes handled by a simple linear fallback).
+func (g *Group) AllreduceSumInt64(p *mpi.Proc, x int64) int64 {
+	n := g.Size()
+	if n == 1 {
+		return x
+	}
+	me := g.Pos(p.Rank())
+	if n&(n-1) != 0 {
+		// Linear fallback: gather to position 0, broadcast the sum.
+		if me == 0 {
+			sum := x
+			for i := 1; i < n; i++ {
+				m := p.Recv(g.ranks[i], tagAllreduce)
+				sum += m.Payload.(int64)
+			}
+			for i := 1; i < n; i++ {
+				p.Send(g.ranks[i], tagAllreduce+1, 8, sum, 1)
+			}
+			return sum
+		}
+		p.Send(g.ranks[0], tagAllreduce, 8, x, 1)
+		m := p.Recv(g.ranks[0], tagAllreduce+1)
+		return m.Payload.(int64)
+	}
+	steps := bits.TrailingZeros(uint(n))
+	sendTo := make([]int, n)
+	sum := x
+	for k := 0; k < steps; k++ {
+		d := 1 << uint(k)
+		for i := range sendTo {
+			sendTo[i] = i ^ d
+		}
+		streams := g.stepStreams(sendTo)
+		partner := g.ranks[me^d]
+		m := p.SendRecv(partner, tagAllreduce+2+k, 8, sum, partner, tagAllreduce+2+k, streams[me])
+		sum += m.Payload.(int64)
+	}
+	return sum
+}

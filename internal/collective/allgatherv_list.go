@@ -1,0 +1,42 @@
+package collective
+
+import "numabfs/internal/mpi"
+
+const tagGatherList = 0x8000
+
+// AllgathervInt64 gathers every member's variable-length int64 vector to
+// all members (a ring, like AllgatherRing, but over lists whose lengths
+// only their owners know — the "expand" phase of the 2-D BFS gathers
+// frontier vertex lists along a processor column this way). The result
+// is indexed by group position; the caller's own slice is referenced,
+// not copied.
+func (g *Group) AllgathervInt64(p *mpi.Proc, mine []int64) [][]int64 {
+	n := g.Size()
+	me := g.Pos(p.Rank())
+	out := make([][]int64, n)
+	out[me] = mine
+	if n == 1 {
+		return out
+	}
+	next := g.ranks[(me+1)%n]
+	prev := g.ranks[(me-1+n)%n]
+	sendTo := make([]int, n)
+	for i := range sendTo {
+		sendTo[i] = (i + 1) % n
+	}
+	streams := g.stepStreams(sendTo)
+
+	for s := 0; s < n-1; s++ {
+		sendID := (me - s + n) % n
+		recvID := (me - s - 1 + n) % n
+		payload := out[sendID]
+		m := p.SendRecv(next, tagGatherList+s, int64(len(payload))*8, payload,
+			prev, tagGatherList+s, streams[me])
+		if m.Payload == nil {
+			out[recvID] = nil
+			continue
+		}
+		out[recvID] = m.Payload.([]int64)
+	}
+	return out
+}

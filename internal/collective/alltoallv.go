@@ -1,0 +1,37 @@
+package collective
+
+import "numabfs/internal/mpi"
+
+// AlltoallvInt64 exchanges variable-length int64 vectors between all
+// members using the pairwise-exchange algorithm: n-1 steps, at step s
+// member i sends to (i+s) mod n and receives from (i-s) mod n. The
+// top-down BFS phase uses this to route discovered (vertex, parent)
+// pairs to their owners, exactly as the Graph500 mpi_simple code does.
+//
+// send[j] is the vector destined for group position j (send[me] is
+// delivered locally, without a message). The result is indexed by source
+// group position.
+func (g *Group) AlltoallvInt64(p *mpi.Proc, send [][]int64) [][]int64 {
+	n := g.Size()
+	me := g.Pos(p.Rank())
+	recv := make([][]int64, n)
+	recv[me] = send[me]
+	if n == 1 {
+		return recv
+	}
+	for s := 1; s < n; s++ {
+		dst := (me + s) % n
+		src := (me - s + n) % n
+		payload := send[dst]
+		// BFS top-down exchanges are sparse: in most steps only the few
+		// ranks owning frontier hubs carry data, so a rank's transfer
+		// contends with its own outbound and inbound streams (2), not
+		// with every co-located rank's empty synchronization message.
+		m := p.SendRecv(g.ranks[dst], tagAlltoall+s, int64(len(payload))*8, payload,
+			g.ranks[src], tagAlltoall+s, 2)
+		if m.Payload != nil {
+			recv[src] = m.Payload.([]int64)
+		}
+	}
+	return recv
+}

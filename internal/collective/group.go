@@ -1,0 +1,184 @@
+// Package collective implements the MPI collective algorithms the paper
+// uses, measures and optimizes, all built on point-to-point rendezvous
+// transfers so their cost emerges from the message pattern:
+//
+//   - ring and recursive-doubling allgather with the Thakur–Gropp size
+//     switch (the "default Open MPI" baseline of Fig. 6);
+//   - binomial-tree gather and broadcast;
+//   - leader-based allgather (Mamidala et al.) — gather to a node leader,
+//     allgather between leaders, broadcast to children (Fig. 5a);
+//   - the paper's shared-memory allgather — sharing in_queue removes the
+//     broadcast step, sharing out_queue removes the gather step (Fig. 5b);
+//   - the paper's parallelized allgather — per-socket subgroups allgather
+//     slices concurrently so all NIC streams are busy (Fig. 7, Eq. 2);
+//   - pairwise-exchange alltoallv for the top-down phase, and a scalar
+//     allreduce for frontier counting and termination.
+//
+// All collectives are SPMD: every member of the group calls the same
+// function with its own mpi.Proc.
+package collective
+
+import (
+	"fmt"
+
+	"numabfs/internal/mpi"
+)
+
+// Group is an ordered set of ranks that communicate collectively.
+type Group struct {
+	w     *mpi.World
+	ranks []int
+	pos   map[int]int // rank -> position
+	node  []int       // position -> node
+}
+
+// NewGroup builds a group over the given ranks (in order).
+func NewGroup(w *mpi.World, ranks []int) *Group {
+	g := &Group{
+		w:     w,
+		ranks: append([]int(nil), ranks...),
+		pos:   make(map[int]int, len(ranks)),
+		node:  make([]int, len(ranks)),
+	}
+	for i, r := range ranks {
+		if _, dup := g.pos[r]; dup {
+			panic(fmt.Sprintf("collective: rank %d appears twice in group", r))
+		}
+		g.pos[r] = i
+		g.node[i] = w.Proc(r).Node()
+	}
+	return g
+}
+
+// WorldGroup returns the group of all ranks in w.
+func WorldGroup(w *mpi.World) *Group {
+	ranks := make([]int, w.NumProcs())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return NewGroup(w, ranks)
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns the member ranks in group order.
+func (g *Group) Ranks() []int { return g.ranks }
+
+// Pos returns the position of rank r in the group; it panics if r is not
+// a member (calling a collective from a non-member is a program bug).
+func (g *Group) Pos(r int) int {
+	p, ok := g.pos[r]
+	if !ok {
+		panic(fmt.Sprintf("collective: rank %d is not in group", r))
+	}
+	return p
+}
+
+// stepStreams computes, for one communication step in which member
+// position i sends to member position sendTo[i] (-1 when idle), the
+// number of concurrent streams each sender's node drives on the contended
+// resource: its NIC for inter-node sends, its memory system for
+// intra-node sends. Receivers congest their node's NIC too, so inter-node
+// stream counts include inbound transfers. The result is indexed by
+// member position; idle members get 0.
+func (g *Group) stepStreams(sendTo []int) []int {
+	interByNode := make(map[int]int)
+	intraByNode := make(map[int]int)
+	for i, dst := range sendTo {
+		if dst < 0 {
+			continue
+		}
+		if g.node[i] == g.node[dst] {
+			intraByNode[g.node[i]]++
+		} else {
+			interByNode[g.node[i]]++
+			interByNode[g.node[dst]]++
+		}
+	}
+	out := make([]int, len(sendTo))
+	for i, dst := range sendTo {
+		if dst < 0 {
+			continue
+		}
+		if g.node[i] == g.node[dst] {
+			out[i] = intraByNode[g.node[i]]
+		} else {
+			s := interByNode[g.node[i]]
+			if d := interByNode[g.node[dst]]; d > s {
+				s = d
+			}
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// blocks is the payload of allgather-family messages: segment ids and
+// their word data. The receiver copies each segment into place.
+type blocks struct {
+	ids  []int
+	data [][]uint64
+}
+
+func (b blocks) words() int64 {
+	var w int64
+	for _, d := range b.data {
+		w += int64(len(d))
+	}
+	return w
+}
+
+// Layout describes an allgatherv buffer: counts[i] words contributed by
+// member i, placed at displs[i] words in the destination buffer.
+type Layout struct {
+	Counts []int64
+	Displs []int64
+}
+
+// EvenLayout splits `words` words over n members as evenly as possible
+// (first words%n members get one extra word).
+func EvenLayout(words int64, n int) Layout {
+	counts := make([]int64, n)
+	displs := make([]int64, n)
+	base := words / int64(n)
+	rem := words % int64(n)
+	var off int64
+	for i := 0; i < n; i++ {
+		c := base
+		if int64(i) < rem {
+			c++
+		}
+		counts[i] = c
+		displs[i] = off
+		off += c
+	}
+	return Layout{Counts: counts, Displs: displs}
+}
+
+// SegLayout builds a layout from explicit per-member word offsets:
+// member i owns [offs[i], offs[i+1]).
+func SegLayout(offs []int64) Layout {
+	n := len(offs) - 1
+	counts := make([]int64, n)
+	displs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		displs[i] = offs[i]
+		counts[i] = offs[i+1] - offs[i]
+	}
+	return Layout{Counts: counts, Displs: displs}
+}
+
+// TotalWords returns the total words the layout describes.
+func (l Layout) TotalWords() int64 {
+	var t int64
+	for _, c := range l.Counts {
+		t += c
+	}
+	return t
+}
+
+// seg returns member i's segment of buf.
+func (l Layout) seg(buf []uint64, i int) []uint64 {
+	return buf[l.Displs[i] : l.Displs[i]+l.Counts[i]]
+}

@@ -1,0 +1,274 @@
+package collective
+
+import (
+	"numabfs/internal/mpi"
+)
+
+// NodeComm holds the group structure the paper's node-aware allgather
+// variants need: per-node groups (leader = local rank 0), the leader
+// group, and per-local-index subgroups for the parallelized allgather.
+type NodeComm struct {
+	World   *Group   // all ranks
+	Nodes   []*Group // group of each node's ranks, leader first
+	Leaders *Group   // one leader per node
+	Subs    []*Group // subgroup j: the ranks with local index j, across nodes
+	PPN     int
+}
+
+// NewNodeComm builds the node communicator structure of world w.
+func NewNodeComm(w *mpi.World) *NodeComm {
+	ppn := w.ProcsPerNode()
+	nodes := w.Config().Nodes
+	nc := &NodeComm{World: WorldGroup(w), PPN: ppn}
+	leaders := make([]int, 0, nodes)
+	nc.Nodes = make([]*Group, nodes)
+	for n := 0; n < nodes; n++ {
+		ranks := make([]int, ppn)
+		for j := 0; j < ppn; j++ {
+			ranks[j] = n*ppn + j
+		}
+		nc.Nodes[n] = NewGroup(w, ranks)
+		leaders = append(leaders, ranks[0])
+	}
+	nc.Leaders = NewGroup(w, leaders)
+	nc.Subs = make([]*Group, ppn)
+	for j := 0; j < ppn; j++ {
+		ranks := make([]int, nodes)
+		for n := 0; n < nodes; n++ {
+			ranks[n] = n*ppn + j
+		}
+		nc.Subs[j] = NewGroup(w, ranks)
+	}
+	return nc
+}
+
+// nodeLayout aggregates a per-rank layout into a per-node layout for the
+// leader allgather: node n contributes the concatenation of its ranks'
+// segments (which are contiguous under the block rank placement).
+func (nc *NodeComm) nodeLayout(l Layout) Layout {
+	nodes := len(nc.Nodes)
+	counts := make([]int64, nodes)
+	displs := make([]int64, nodes)
+	for n := 0; n < nodes; n++ {
+		first := n * nc.PPN
+		displs[n] = l.Displs[first]
+		for j := 0; j < nc.PPN; j++ {
+			counts[n] += l.Counts[first+j]
+		}
+	}
+	return Layout{Counts: counts, Displs: displs}
+}
+
+// StepTimes is the per-rank time spent in each step of a leader-based
+// allgather — the breakdown of Fig. 6.
+type StepTimes struct {
+	GatherNs float64 // step 1: children -> leader (intra-node)
+	InterNs  float64 // step 2: allgather between leaders (inter-node)
+	BcastNs  float64 // step 3: leader -> children (intra-node)
+}
+
+// Total returns the summed step time.
+func (t StepTimes) Total() float64 { return t.GatherNs + t.InterNs + t.BcastNs }
+
+func (t *StepTimes) add(o StepTimes) {
+	t.GatherNs += o.GatherNs
+	t.InterNs += o.InterNs
+	t.BcastNs += o.BcastNs
+}
+
+// LeaderAllgather is the prior-work baseline of Fig. 5a (Mamidala et
+// al.): gather each node's segments to its leader, ring-allgather between
+// leaders, broadcast the full buffer back to the children. buf is each
+// rank's private full-size buffer with its own segment (layout l, indexed
+// by world group position = rank) already in place.
+func (nc *NodeComm) LeaderAllgather(p *mpi.Proc, buf []uint64, l Layout) StepTimes {
+	var st StepTimes
+	node := nc.Nodes[p.Node()]
+
+	t0 := p.Clock()
+	node.GatherBinomial(p, buf, nc.localView(l, p.Node()), 0)
+	st.GatherNs = p.Clock() - t0
+
+	if p.LocalRank() == 0 {
+		t0 = p.Clock()
+		nc.Leaders.AllgatherRing(p, buf, nc.nodeLayout(l))
+		st.InterNs = p.Clock() - t0
+	}
+
+	t0 = p.Clock()
+	node.BcastBinomial(p, buf, l.TotalWords(), 0)
+	st.BcastNs = p.Clock() - t0
+	return st
+}
+
+// localView returns the layout of node n's ranks as a group-local layout
+// (positions 0..ppn-1), still addressing the full buffer.
+func (nc *NodeComm) localView(l Layout, n int) Layout {
+	first := n * nc.PPN
+	return Layout{
+		Counts: l.Counts[first : first+nc.PPN],
+		Displs: l.Displs[first : first+nc.PPN],
+	}
+}
+
+// SharedInQueueAllgather is the paper's first optimization (Fig. 5b with
+// only in_queue shared): buf is one node-shared buffer; children still
+// gather their segments to the leader (step 1), leaders allgather on the
+// shared buffer (step 2), and the broadcast disappears — children see the
+// result through the shared mapping after a node barrier.
+func (nc *NodeComm) SharedInQueueAllgather(p *mpi.Proc, shared []uint64, seg []uint64, l Layout) StepTimes {
+	var st StepTimes
+	node := nc.Nodes[p.Node()]
+	me := nc.World.Pos(p.Rank())
+
+	// Step 1: children send their segment to the leader, which writes it
+	// into the shared buffer. The leader's own segment is copied by its
+	// compute phase already (seg aliases shared for the leader when the
+	// caller stages directly; otherwise copy here).
+	t0 := p.Clock()
+	if p.LocalRank() == 0 {
+		copy(l.seg(shared, me), seg)
+		p.Compute(float64(len(seg)*8) / p.World().Config().ShmCopyBW)
+		for j := 1; j < nc.PPN; j++ {
+			child := p.Rank() + j
+			m := p.Recv(child, tagGather)
+			copy(l.seg(shared, nc.World.Pos(child)), m.Payload.([]uint64))
+		}
+	} else {
+		// Children copy concurrently; the leader serializes receives.
+		p.Send(p.Rank()-p.LocalRank(), tagGather, int64(len(seg))*8, seg, nc.PPN-1)
+	}
+	st.GatherNs = p.Clock() - t0
+
+	if p.LocalRank() == 0 {
+		t0 = p.Clock()
+		nc.Leaders.AllgatherRing(p, shared, nc.nodeLayout(l))
+		st.InterNs = p.Clock() - t0
+	}
+
+	// No step 3: a node barrier makes the shared result visible.
+	t0 = p.Clock()
+	node.barrierVia(p)
+	st.BcastNs = 0
+	st.InterNs += p.Clock() - t0 // children wait for the leader here
+	return st
+}
+
+// SharedAllAgather is the paper's "Share all" variant (Fig. 5b): both
+// out_queue and in_queue are node-shared, so the leader reads children's
+// segments directly from the shared out region — no gather, no broadcast.
+// sharedOut holds the node's contribution at the node's displacement;
+// sharedIn receives the full result.
+func (nc *NodeComm) SharedAllAgather(p *mpi.Proc, sharedIn, sharedOut []uint64, l Layout) StepTimes {
+	var st StepTimes
+	node := nc.Nodes[p.Node()]
+	nl := nc.nodeLayout(l)
+
+	if p.LocalRank() == 0 {
+		// Copy the node's slice from the shared out region in place; this
+		// is a local memory copy, charged at shared-copy bandwidth.
+		t0 := p.Clock()
+		n := p.Node()
+		copy(nl.seg(sharedIn, n), nl.seg(sharedOut, n))
+		p.Compute(float64(nl.Counts[n]*8) / p.World().Config().ShmCopyBW)
+		st.GatherNs = p.Clock() - t0
+
+		t0 = p.Clock()
+		// The ring sources segments straight from the shared regions:
+		// own-node data from sharedIn (just staged), remote arrivals land
+		// in sharedIn as the ring progresses.
+		nc.Leaders.AllgatherRing(p, sharedIn, nl)
+		st.InterNs = p.Clock() - t0
+	}
+
+	t0 := p.Clock()
+	node.barrierVia(p)
+	st.InterNs += p.Clock() - t0
+	return st
+}
+
+// ParallelAllgather is the paper's Section III.B scheme (Fig. 7): the
+// ranks with local index j across all nodes form subgroup j; each
+// subgroup ring-allgathers its members' segments into the node-shared
+// buffer, all subgroups concurrently, so every NIC carries PPN streams.
+// Total traffic is m*(np/ppn - 1) — Eq. (2). seg is the rank's own
+// segment (copied into the shared buffer first).
+func (nc *NodeComm) ParallelAllgather(p *mpi.Proc, shared []uint64, seg []uint64, l Layout) StepTimes {
+	var st StepTimes
+	me := nc.World.Pos(p.Rank())
+	node := nc.Nodes[p.Node()]
+	sub := nc.Subs[p.LocalRank()]
+
+	t0 := p.Clock()
+	copy(l.seg(shared, me), seg)
+	p.Compute(float64(l.Counts[me]*8) / p.World().Config().ShmCopyBW)
+
+	// Subgroup layout: the segments of this subgroup's members.
+	counts := make([]int64, sub.Size())
+	displs := make([]int64, sub.Size())
+	for i, r := range sub.Ranks() {
+		wp := nc.World.Pos(r)
+		counts[i] = l.Counts[wp]
+		displs[i] = l.Displs[wp]
+	}
+	sl := Layout{Counts: counts, Displs: displs}
+	sub.allgatherRingStreams(p, shared, sl, nc.PPN)
+	st.InterNs = p.Clock() - t0
+
+	t0 = p.Clock()
+	node.barrierVia(p)
+	st.InterNs += p.Clock() - t0
+	return st
+}
+
+// SharedInPlaceAllgather allgathers a fully node-shared buffer whose
+// per-rank contributions are already written in place (each rank wrote
+// its own segment into the shared region): a node barrier waits for the
+// writers, the leaders exchange node slices, and a final node barrier
+// publishes the result. This is the "Share all" path for the summary
+// bitmaps, which every rank rebuilds directly into the shared region.
+func (nc *NodeComm) SharedInPlaceAllgather(p *mpi.Proc, shared []uint64, l Layout) StepTimes {
+	var st StepTimes
+	node := nc.Nodes[p.Node()]
+	t0 := p.Clock()
+	node.barrierVia(p)
+	if p.LocalRank() == 0 {
+		nc.Leaders.AllgatherRing(p, shared, nc.nodeLayout(l))
+	}
+	node.barrierVia(p)
+	st.InterNs = p.Clock() - t0
+	return st
+}
+
+// ParallelAllgatherInPlace is ParallelAllgather for contributions already
+// staged in the shared buffer (no copy step).
+func (nc *NodeComm) ParallelAllgatherInPlace(p *mpi.Proc, shared []uint64, l Layout) StepTimes {
+	var st StepTimes
+	node := nc.Nodes[p.Node()]
+	sub := nc.Subs[p.LocalRank()]
+
+	t0 := p.Clock()
+	counts := make([]int64, sub.Size())
+	displs := make([]int64, sub.Size())
+	for i, r := range sub.Ranks() {
+		wp := nc.World.Pos(r)
+		counts[i] = l.Counts[wp]
+		displs[i] = l.Displs[wp]
+	}
+	sub.allgatherRingStreams(p, shared, Layout{Counts: counts, Displs: displs}, nc.PPN)
+	st.InterNs = p.Clock() - t0
+
+	t0 = p.Clock()
+	node.barrierVia(p)
+	st.InterNs += p.Clock() - t0
+	return st
+}
+
+// barrierVia runs a node barrier through the proc (helper so group code
+// can synchronize a node's ranks).
+func (g *Group) barrierVia(p *mpi.Proc) {
+	if g.Size() == 1 {
+		return
+	}
+	p.NodeBarrier()
+}

@@ -1,0 +1,93 @@
+package collective
+
+import "numabfs/internal/mpi"
+
+// GatherBinomial gathers every member's segment of buf (per layout l) to
+// the member at group position rootPos, along a binomial tree: in round
+// k, members whose (virtual) position has bit k set send everything their
+// subtree holds to the parent at distance 2^k. Non-root members' buffers
+// are used as staging for their subtree's segments.
+func (g *Group) GatherBinomial(p *mpi.Proc, buf []uint64, l Layout, rootPos int) {
+	n := g.Size()
+	if n == 1 {
+		return
+	}
+	me := g.Pos(p.Rank())
+	v := (me - rootPos + n) % n // virtual position: root is 0
+	sendTo := make([]int, n)
+
+	for k, d := 0, 1; d < n; k, d = k+1, d*2 {
+		// Compute this round's send topology for stream counting.
+		for i := range sendTo {
+			vi := (i - rootPos + n) % n
+			if vi&d != 0 && vi&(d-1) == 0 {
+				sendTo[i] = (vi - d + rootPos) % n
+			} else {
+				sendTo[i] = -1
+			}
+		}
+		streams := g.stepStreams(sendTo)
+
+		if v&d != 0 && v&(d-1) == 0 {
+			// I send my subtree: virtual positions [v, min(v+d, n)).
+			hi := v + d
+			if hi > n {
+				hi = n
+			}
+			payload := blocks{}
+			for s := v; s < hi; s++ {
+				id := (s + rootPos) % n
+				payload.ids = append(payload.ids, id)
+				payload.data = append(payload.data, l.seg(buf, id))
+			}
+			parent := g.ranks[(v-d+rootPos)%n]
+			p.Send(parent, tagGather+k, payload.words()*8, payload, streams[me])
+			return // a sender is done after handing off its subtree
+		}
+		if v&(2*d-1) == 0 && v+d < n {
+			child := g.ranks[(v+d+rootPos)%n]
+			m := p.Recv(child, tagGather+k)
+			in := m.Payload.(blocks)
+			for j, id := range in.ids {
+				copy(l.seg(buf, id), in.data[j])
+			}
+		}
+	}
+}
+
+// BcastBinomial broadcasts words[0:total] of buf from the member at group
+// position rootPos to all members along a binomial tree (rounds from the
+// top bit down, the standard MPI algorithm).
+func (g *Group) BcastBinomial(p *mpi.Proc, buf []uint64, total int64, rootPos int) {
+	n := g.Size()
+	if n == 1 {
+		return
+	}
+	me := g.Pos(p.Rank())
+	v := (me - rootPos + n) % n
+	top := 1
+	for top < n {
+		top *= 2
+	}
+	sendTo := make([]int, n)
+	for k, d := 0, top/2; d >= 1; k, d = k+1, d/2 {
+		for i := range sendTo {
+			vi := (i - rootPos + n) % n
+			if vi&(d-1) == 0 && vi&d == 0 && vi+d < n && vi%(2*d) == 0 {
+				sendTo[i] = (vi + d + rootPos) % n
+			} else {
+				sendTo[i] = -1
+			}
+		}
+		streams := g.stepStreams(sendTo)
+		switch {
+		case v%(2*d) == 0 && v+d < n:
+			dst := g.ranks[(v+d+rootPos)%n]
+			p.Send(dst, tagBcast+k, total*8, buf[:total], streams[me])
+		case v%(2*d) == d:
+			src := g.ranks[(v-d+rootPos)%n]
+			m := p.Recv(src, tagBcast+k)
+			copy(buf[:total], m.Payload.([]uint64))
+		}
+	}
+}

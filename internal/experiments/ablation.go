@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numabfs/internal/collective"
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+)
+
+// allgatherAblation times one in_queue-sized allgather over the full
+// 16-node, 128-rank cluster under each algorithm: ring (the library's
+// long-message choice and the paper's Eq. 1 regime), recursive doubling,
+// and Bruck. Run at both the in_queue and the summary payload size, the
+// two allgathers of Fig. 1.
+func allgatherAblation(s Spec) (*Table, error) {
+	const nodes = 16
+	scale := s.scaleFor(nodes)
+	cfg := s.clusterConfig(nodes)
+	inqWords := int64(1) << uint(scale-6)
+	sumWords := inqWords / 64
+	if sumWords < 1 {
+		sumWords = 1
+	}
+
+	t := &Table{
+		Name:  "Abl. allgather",
+		Title: fmt.Sprintf("Allgather algorithm ablation, %d ranks (us per operation)", nodes*cfg.SocketsPerNode),
+		Columns: []string{
+			fmt.Sprintf("in_queue %dKB", inqWords*8>>10),
+			fmt.Sprintf("summary %dB", sumWords*8),
+		},
+	}
+
+	algos := []struct {
+		label string
+		fn    func(g *collective.Group, p *mpi.Proc, buf []uint64, l collective.Layout)
+	}{
+		{"ring", (*collective.Group).AllgatherRing},
+		{"recursive doubling", (*collective.Group).AllgatherRecDouble},
+		{"Bruck", (*collective.Group).AllgatherBruck},
+		{"library default", (*collective.Group).Allgather},
+	}
+	for _, a := range algos {
+		row := make([]float64, 0, 2)
+		for _, words := range []int64{inqWords, sumWords} {
+			pl := machine.PlacementFor(cfg, machine.PPN8Bind)
+			w := mpi.NewWorld(cfg, pl)
+			g := collective.WorldGroup(w)
+			l := collective.EvenLayout(words, g.Size())
+			w.Run(func(p *mpi.Proc) {
+				buf := make([]uint64, words)
+				a.fn(g, p, buf, l)
+			})
+			row = append(row, w.MaxClock()/1e3)
+		}
+		t.AddRow(a.label, row...)
+	}
+	t.Notes = append(t.Notes,
+		"Thakur-Gropp: recursive doubling wins short payloads, ring the long ones; the library default switches at the threshold")
+	return t, nil
+}

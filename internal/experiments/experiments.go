@@ -1,0 +1,135 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section IV), each regenerating the corresponding
+// rows or series on the simulated cluster. DESIGN.md carries the full
+// experiment index; EXPERIMENTS.md records paper-vs-measured values.
+//
+// The paper runs graphs of scale 28 (one node) to 32 (sixteen nodes,
+// weak scaling). The drivers run the same sweeps at laptop scales on the
+// proportionally scaled machine model (machine.Scaled), which preserves
+// the working-set : cache ratios the results depend on; a Spec selects
+// the scale and the number of BFS roots.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/graph500"
+	"numabfs/internal/machine"
+	"numabfs/internal/rmat"
+)
+
+// Spec sizes an experiment run.
+type Spec struct {
+	// BaseScale is the graph scale on one node; weak-scaling sweeps use
+	// BaseScale + log2(nodes), mirroring the paper's 28..32.
+	BaseScale int
+	// Roots is the number of BFS iterations per configuration (the
+	// Graph500 methodology uses 64).
+	Roots int
+	// Validate turns on per-root BFS tree validation.
+	Validate bool
+	// WeakNode keeps the testbed's one ill-performing node in 16-node
+	// runs (the paper's results include it; Figs. 13-14 exclude 16-node
+	// points because of it).
+	WeakNode bool
+}
+
+// Quick returns a spec small enough for unit tests.
+func Quick() Spec { return Spec{BaseScale: 14, Roots: 2} }
+
+// Default returns the benchmark spec used by cmd/bfsbench and the
+// top-level benches.
+func Default() Spec { return Spec{BaseScale: 16, Roots: 8} }
+
+// PaperBaseScale is the paper's one-node graph scale; its weak-scaling
+// sweep runs 28 (1 node) to 32 (16 nodes).
+const PaperBaseScale = 28
+
+// scaleFor returns the weak-scaling graph scale for a node count.
+func (s Spec) scaleFor(nodes int) int {
+	return s.BaseScale + int(math.Round(math.Log2(float64(nodes))))
+}
+
+// clusterConfig returns the scaled machine for a node count: the run
+// stands in for the paper's experiment at scale 28 + log2(nodes).
+func (s Spec) clusterConfig(nodes int) machine.Config {
+	cfg := machine.Scaled(s.scaleFor(nodes), PaperBaseScale+s.scaleFor(nodes)-s.BaseScale)
+	cfg.Nodes = nodes
+	if !s.WeakNode || nodes < 16 {
+		cfg.WeakNode = -1
+	}
+	return cfg
+}
+
+// run executes one Graph500 benchmark configuration.
+func (s Spec) run(nodes int, policy machine.Policy, opts bfs.Options) (*graph500.Result, error) {
+	return graph500.Run(graph500.Config{
+		Machine:  s.clusterConfig(nodes),
+		Policy:   policy,
+		Params:   rmat.Graph500(s.scaleFor(nodes)),
+		Opts:     opts,
+		NumRoots: s.Roots,
+		Validate: s.Validate,
+	})
+}
+
+// Table is a rendered experiment result: labelled rows of numeric cells,
+// in the shape of the paper's figure it reproduces. The struct marshals
+// cleanly to JSON for downstream plotting.
+type Table struct {
+	Name    string   `json:"name"` // e.g. "Fig. 9"
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+	Rows    []Row    `json:"rows"`
+	Notes   []string `json:"notes,omitempty"`
+}
+
+// Row is one labelled series of values.
+type Row struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.Name, t.Title)
+	width := 14
+	fmt.Fprintf(&b, "%-34s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-34s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*s", width, formatCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns a spec small enough for CI; shapes assertions below use
+// it, so they exercise the same code paths as the full benches.
+func quick() Spec { return Spec{BaseScale: 13, Roots: 2} }
+
+func TestSpecScaling(t *testing.T) {
+	s := Default()
+	if s.scaleFor(1) != s.BaseScale {
+		t.Fatal("one node must use the base scale")
+	}
+	if s.scaleFor(16) != s.BaseScale+4 {
+		t.Fatalf("16 nodes -> scale %d, want base+4", s.scaleFor(16))
+	}
+	cfg := s.clusterConfig(4)
+	if cfg.Nodes != 4 {
+		t.Fatalf("nodes = %d", cfg.Nodes)
+	}
+	if cfg.WeakNode >= 0 {
+		t.Fatal("weak node must be disabled below 16 nodes")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Name: "Fig. X", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("row", 1.5, 2e9)
+	tab.Notes = append(tab.Notes, "a note")
+	out := tab.String()
+	for _, want := range []string{"Fig. X", "demo", "row", "1.500", "2.000e+09", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4BandwidthShape(t *testing.T) {
+	tab, err := Fig4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Fig4PPNs) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// More processes per node -> more aggregate bandwidth at large
+	// message sizes; eight processes reach roughly the two-port peak.
+	last := len(Fig4Sizes) - 1
+	bw1 := tab.Rows[0].Values[last]
+	bw8 := tab.Rows[3].Values[last]
+	if bw8 <= bw1 {
+		t.Fatalf("8 ppn (%g) not faster than 1 ppn (%g)", bw8, bw1)
+	}
+	if bw8 < 9.5 || bw8 > 10.5 {
+		t.Fatalf("8 ppn = %g GB/s, want ~10 (2x40Gb ports)", bw8)
+	}
+	if frac := bw1 / bw8; frac < 0.2 || frac > 0.6 {
+		t.Fatalf("1 ppn reaches %.0f%% of peak, want a clearly limited share", 100*frac)
+	}
+}
+
+func TestFig6LeaderBreakdownShape(t *testing.T) {
+	tab, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each size the leader-based breakdown must show intra-node
+	// steps (gather+bcast) dominating the inter-node exchange — the
+	// paper's argument that overlap cannot hide them — and the
+	// overlapped variant must improve on plain leader-based.
+	var leaderTotal, overlapTotal float64
+	checked := 0
+	for _, row := range tab.Rows {
+		switch {
+		case strings.HasPrefix(row.Label, "leader-based"):
+			vals := row.Values // total, gather, inter, bcast
+			intra := vals[1] + vals[3]
+			inter := vals[2]
+			if intra <= inter {
+				t.Errorf("%s: intra %g not dominating inter %g", row.Label, intra, inter)
+			}
+			leaderTotal = vals[0]
+			checked++
+		case strings.HasPrefix(row.Label, "overlapped"):
+			overlapTotal = row.Values[0]
+			if overlapTotal >= leaderTotal {
+				t.Errorf("%s: overlap (%g) not faster than leader-based (%g)", row.Label, overlapTotal, leaderTotal)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no leader-based rows found")
+	}
+}
+
+func TestFig10PolicyOrdering(t *testing.T) {
+	tab, err := Fig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	teps := map[string]float64{}
+	for _, r := range tab.Rows {
+		teps[r.Label] = r.Values[0]
+	}
+	// The paper's ordering: bind > interleave > noflag8 > noflag1.
+	if !(teps["ppn=8.bind-to-socket"] > teps["ppn=1.interleave"]) {
+		t.Errorf("bind (%g) must beat interleave (%g)", teps["ppn=8.bind-to-socket"], teps["ppn=1.interleave"])
+	}
+	if !(teps["ppn=1.interleave"] > teps["ppn=1.noflag"]) {
+		t.Errorf("interleave (%g) must beat noflag (%g)", teps["ppn=1.interleave"], teps["ppn=1.noflag"])
+	}
+	if !(teps["ppn=8.bind-to-socket"] > teps["ppn=8.noflag"]) {
+		t.Errorf("bind (%g) must beat unbound ppn=8 (%g)", teps["ppn=8.bind-to-socket"], teps["ppn=8.noflag"])
+	}
+}
+
+func TestShareDegreeTradeoff(t *testing.T) {
+	tab, err := AblationShareDegree(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want k in {1,2,4,8}", len(tab.Rows))
+	}
+	// Communication must not grow with the sharing degree; the modelled
+	// check latency must not shrink (capacity helps but hits migrate to
+	// peer caches) beyond k=1.
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i].Values[0] > tab.Rows[0].Values[0]*1.01 {
+			t.Errorf("k=%d allgather (%g) above private k=1 (%g)",
+				1<<i, tab.Rows[i].Values[0], tab.Rows[0].Values[0])
+		}
+		if tab.Rows[i].Values[1] < tab.Rows[i-1].Values[1]*0.99 {
+			t.Errorf("check latency not monotone at row %d: %g < %g",
+				i, tab.Rows[i].Values[1], tab.Rows[i-1].Values[1])
+		}
+	}
+}
+
+func TestLevelProfileShape(t *testing.T) {
+	tab, err := LevelProfile(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last two rows are the bottom-up shares; both must dominate
+	// (Sec. II.B: most vertices reached bottom-up, most time there).
+	n := len(tab.Rows)
+	buVisited := tab.Rows[n-2].Values[0]
+	if buVisited < 0.5 {
+		t.Errorf("bottom-up visited share %g, want the majority", buVisited)
+	}
+}
+
+func TestFig12CommGrowsWithNodes(t *testing.T) {
+	tab, err := Fig12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppn8 := tab.Rows[1].Values
+	for i := 1; i < len(ppn8); i++ {
+		if ppn8[i] <= ppn8[i-1] {
+			t.Fatalf("ppn=8 comm not growing: %v", ppn8)
+		}
+	}
+	prop := tab.Rows[2].Values
+	if prop[len(prop)-1] <= prop[0] {
+		t.Fatalf("comm proportion not growing: %v", prop)
+	}
+	// ppn=8 communication costs more than ppn=1 at every point.
+	ppn1 := tab.Rows[0].Values
+	for i := range ppn8 {
+		if ppn8[i] <= ppn1[i] {
+			t.Fatalf("ppn8 comm (%g) not above ppn1 (%g) at index %d", ppn8[i], ppn1[i], i)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/machine"
+	"numabfs/internal/trace"
+)
+
+// variant pairs a label with a policy and optimization level, in the
+// cumulative order of Fig. 9.
+type variant struct {
+	label  string
+	policy machine.Policy
+	opt    bfs.Opt
+}
+
+func ppn8Variants() []variant {
+	return []variant{
+		{"Original.ppn=8", machine.PPN8Bind, bfs.OptOriginal},
+		{"+ Share in_queue", machine.PPN8Bind, bfs.OptShareInQueue},
+		{"+ Share all", machine.PPN8Bind, bfs.OptShareAll},
+		{"+ Par allgather", machine.PPN8Bind, bfs.OptParAllgather},
+	}
+}
+
+// Fig9Granularities is the sweep behind the "+ Granularity" bar (the
+// paper reports the best of all tested granularities).
+var Fig9Granularities = []int64{64, 128, 256, 512}
+
+// Fig9 reproduces the overview of all optimizations on 16 nodes. Paper
+// shape: Original.ppn=8 = 1.53x Original.ppn=1; sharing in_queue +34.1%;
+// share all +6.5%; parallel allgather +4.6%; best granularity on top;
+// 2.44x overall.
+func Fig9(s Spec) (*Table, error) {
+	const nodes = 16
+	t := &Table{
+		Name:    "Fig. 9",
+		Title:   fmt.Sprintf("Overview of all optimizations (%d nodes, scale %d)", nodes, s.scaleFor(nodes)),
+		Columns: []string{"TEPS", "vs ppn=1", "vs previous"},
+	}
+	var teps []float64
+	var labels []string
+
+	base, err := s.run(nodes, machine.PPN1Interleave, bfs.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("fig9 ppn=1: %w", err)
+	}
+	teps = append(teps, base.HarmonicTEPS)
+	labels = append(labels, "Original.ppn=1")
+
+	for _, v := range ppn8Variants() {
+		opts := bfs.DefaultOptions()
+		opts.Opt = v.opt
+		res, err := s.run(nodes, v.policy, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", v.label, err)
+		}
+		teps = append(teps, res.HarmonicTEPS)
+		labels = append(labels, v.label)
+	}
+
+	// "+ Granularity": best of the sweep on top of Par allgather.
+	best := 0.0
+	bestG := int64(0)
+	for _, g := range Fig9Granularities {
+		opts := bfs.DefaultOptions()
+		opts.Opt = bfs.OptParAllgather
+		opts.Granularity = g
+		res, err := s.run(nodes, machine.PPN8Bind, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 granularity %d: %w", g, err)
+		}
+		if res.HarmonicTEPS > best {
+			best, bestG = res.HarmonicTEPS, g
+		}
+	}
+	teps = append(teps, best)
+	labels = append(labels, fmt.Sprintf("+ Granularity (best g=%d)", bestG))
+
+	for i := range teps {
+		prev := 1.0
+		if i > 0 {
+			prev = teps[i] / teps[i-1]
+		}
+		t.AddRow(labels[i], teps[i], teps[i]/teps[0], prev)
+	}
+	t.Notes = append(t.Notes,
+		"paper: 1.53x, +34.1%, +6.5%, +4.6%, then best granularity; 2.44x overall")
+	return t, nil
+}
+
+// Fig12 reproduces the weak-scaling communication-cost measurement of
+// the "Original" implementation: absolute time of each bottom-up
+// communication phase for ppn=1 vs ppn=8, and the proportion of total
+// time ppn=8 spends in bottom-up communication. Paper shape: the cost
+// grows ~2x per doubling; ppn=8 costs ~2.34x ppn=1 at 8 nodes; the
+// proportion grows from 12% to 54%.
+func Fig12(s Spec) (*Table, error) {
+	nodesSweep := []int{1, 2, 4, 8}
+	t := &Table{
+		Name:    "Fig. 12",
+		Title:   "Bottom-up communication cost, weak scaling (Original)",
+		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes"},
+	}
+	var ppn1, ppn8, prop []float64
+	for _, nodes := range nodesSweep {
+		r1, err := s.run(nodes, machine.PPN1Interleave, bfs.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("fig12 ppn1 %d nodes: %w", nodes, err)
+		}
+		r8, err := s.run(nodes, machine.PPN8Bind, bfs.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("fig12 ppn8 %d nodes: %w", nodes, err)
+		}
+		ppn1 = append(ppn1, r1.Breakdown.AvgBUCommNs()/1e6)
+		ppn8 = append(ppn8, r8.Breakdown.AvgBUCommNs()/1e6)
+		prop = append(prop, r8.Breakdown.Proportion(trace.BUComm))
+	}
+	t.AddRow("ppn=1.interleave comm phase (ms)", ppn1...)
+	t.AddRow("ppn=8.bind comm phase (ms)", ppn8...)
+	t.AddRow("ppn=8 bu-comm proportion", prop...)
+	t.Notes = append(t.Notes,
+		"paper: ppn=8 comm = 2.34x ppn=1 at 8 nodes; proportion 12% -> 54%")
+	return t, nil
+}
+
+// Fig13 reproduces the reduction of the average bottom-up communication
+// phase by the communication optimizations across 1..16 nodes. Paper
+// shape: 4.07x reduction at 8 nodes; the 16-node point is polluted by
+// the weak node.
+func Fig13(s Spec) (*Table, error) {
+	nodesSweep := []int{1, 2, 4, 8, 16}
+	t := &Table{
+		Name:    "Fig. 13",
+		Title:   "Average bottom-up communication phase (ms), weak scaling",
+		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes", "16 nodes"},
+	}
+	for _, v := range ppn8Variants() {
+		opts := bfs.DefaultOptions()
+		opts.Opt = v.opt
+		row := make([]float64, 0, len(nodesSweep))
+		for _, nodes := range nodesSweep {
+			res, err := s.run(nodes, v.policy, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s %d nodes: %w", v.label, nodes, err)
+			}
+			row = append(row, res.Breakdown.AvgBUCommNs()/1e6)
+		}
+		t.AddRow(v.label, row...)
+	}
+	t.Notes = append(t.Notes, "paper: all optimizations together cut 8-node comm 4.07x")
+	return t, nil
+}
+
+// Fig14 reproduces the proportion of total time spent in bottom-up
+// communication for each optimization level over 1..8 nodes. Paper
+// shape: 54% (Original) -> 18% (all optimizations) at 8 nodes.
+func Fig14(s Spec) (*Table, error) {
+	nodesSweep := []int{1, 2, 4, 8}
+	t := &Table{
+		Name:    "Fig. 14",
+		Title:   "Bottom-up communication proportion of total time",
+		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes"},
+	}
+	for _, v := range ppn8Variants() {
+		opts := bfs.DefaultOptions()
+		opts.Opt = v.opt
+		row := make([]float64, 0, len(nodesSweep))
+		for _, nodes := range nodesSweep {
+			res, err := s.run(nodes, v.policy, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s %d nodes: %w", v.label, nodes, err)
+			}
+			row = append(row, res.Breakdown.Proportion(trace.BUComm))
+		}
+		t.AddRow(v.label, row...)
+	}
+	t.Notes = append(t.Notes, "paper: 54% -> 18% at 8 nodes")
+	return t, nil
+}
+
+// Fig15 reproduces weak scalability in TEPS for each implementation from
+// 1 to 16 nodes. Paper shape: the communication optimizations scale
+// best; 8 -> 16 nodes is depressed by the weak node.
+func Fig15(s Spec) (*Table, error) {
+	nodesSweep := []int{1, 2, 4, 8, 16}
+	t := &Table{
+		Name:    "Fig. 15",
+		Title:   "Weak scalability (harmonic-mean TEPS)",
+		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes", "16 nodes"},
+	}
+	all := append([]variant{{"Original.ppn=1", machine.PPN1Interleave, bfs.OptOriginal}}, ppn8Variants()...)
+	for _, v := range all {
+		opts := bfs.DefaultOptions()
+		opts.Opt = v.opt
+		row := make([]float64, 0, len(nodesSweep))
+		for _, nodes := range nodesSweep {
+			res, err := s.run(nodes, v.policy, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig15 %s %d nodes: %w", v.label, nodes, err)
+			}
+			row = append(row, res.HarmonicTEPS)
+		}
+		t.AddRow(v.label, row...)
+	}
+	return t, nil
+}
+
+// Fig16Granularities is the granularity sweep of Fig. 16.
+var Fig16Granularities = []int64{64, 128, 256, 512, 1024, 2048, 4096}
+
+// Fig16 reproduces the summary-granularity sweep on 16 nodes over the
+// "Par allgather" implementation. Paper shape: a peak at 256 (+10.2%
+// over 64), decaying beyond as the summary loses zero bits.
+func Fig16(s Spec) (*Table, error) {
+	const nodes = 16
+	t := &Table{
+		Name:    "Fig. 16",
+		Title:   fmt.Sprintf("Summary bitmap granularity sweep (%d nodes, scale %d)", nodes, s.scaleFor(nodes)),
+		Columns: []string{"TEPS", "vs g=64"},
+	}
+	var base float64
+	for _, g := range Fig16Granularities {
+		opts := bfs.DefaultOptions()
+		opts.Opt = bfs.OptParAllgather
+		opts.Granularity = g
+		res, err := s.run(nodes, machine.PPN8Bind, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 g=%d: %w", g, err)
+		}
+		if g == 64 {
+			base = res.HarmonicTEPS
+		}
+		t.AddRow(fmt.Sprintf("g=%d", g), res.HarmonicTEPS, res.HarmonicTEPS/base)
+	}
+	t.Notes = append(t.Notes, "paper: peak at g=256, +10.2% over g=64")
+	return t, nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/graph500"
+	"numabfs/internal/machine"
+	"numabfs/internal/rmat"
+	"numabfs/internal/trace"
+)
+
+// Fig3 reproduces the core-scaling experiment: BFS speedup on 1 core,
+// 8 cores (one socket, all-local memory) and 64 cores (eight sockets)
+// with the graph interleaved across sockets — plus the bound mapping the
+// paper recommends in Section II.D. Paper shape: 1->8 cores ~6.98x near
+// linear; 8->64 cores only ~2.77x interleaved but ~6.31x bound.
+func Fig3(s Spec) (*Table, error) {
+	scale := s.scaleFor(1)
+	params := rmat.Graph500(scale)
+	type variant struct {
+		label   string
+		sockets int
+		cores   int
+		policy  machine.Policy
+	}
+	variants := []variant{
+		{"1 core (1 socket, local)", 1, 1, machine.PPN1NoFlag},
+		{"8 cores (1 socket, local)", 1, 8, machine.PPN1NoFlag},
+		{"64 cores (8 sockets, interleave)", 8, 8, machine.PPN1Interleave},
+		{"64 cores (8 sockets, bind-to-socket)", 8, 8, machine.PPN8Bind},
+	}
+	t := &Table{
+		Name:    "Fig. 3",
+		Title:   "BFS speedup by core count and NUMA placement (single node)",
+		Columns: []string{"TEPS", "vs 1 core", "vs 8 cores"},
+	}
+	opts := bfs.DefaultOptions()
+	teps := make([]float64, len(variants))
+	for i, v := range variants {
+		cfg := s.clusterConfig(1)
+		cfg.Nodes = 1
+		cfg.SocketsPerNode = v.sockets
+		cfg.CoresPerSocket = v.cores
+		res, err := graph500.Run(graph500.Config{
+			Machine: cfg, Policy: v.policy, Params: params,
+			Opts: opts, NumRoots: s.Roots, Validate: s.Validate,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", v.label, err)
+		}
+		teps[i] = res.HarmonicTEPS
+	}
+	for i, v := range variants {
+		t.AddRow(v.label, teps[i], teps[i]/teps[0], teps[i]/teps[1])
+	}
+	t.Notes = append(t.Notes,
+		"paper: 8 cores = 6.98x of 1 core; 64 cores = 2.77x of 8 cores interleaved, 6.31x bound")
+	return t, nil
+}
+
+// Fig10 reproduces the execution-policy comparison on a single node:
+// ppn=1 without flags, ppn=1 interleaved, ppn=8 unbound, ppn=8 bound.
+// Paper shape: bind = 1.74x interleave = 2.08x ppn8-noflag; noflag worst.
+func Fig10(s Spec) (*Table, error) {
+	t := &Table{
+		Name:    "Fig. 10",
+		Title:   "\"Original\" implementation under various execution policies (1 node)",
+		Columns: []string{"TEPS", "norm vs interleave"},
+	}
+	policies := []machine.Policy{
+		machine.PPN1NoFlag, machine.PPN1Interleave, machine.PPN8NoFlag, machine.PPN8Bind,
+	}
+	teps := make([]float64, len(policies))
+	for i, pol := range policies {
+		res, err := s.run(1, pol, bfs.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", pol, err)
+		}
+		teps[i] = res.HarmonicTEPS
+	}
+	for i, pol := range policies {
+		t.AddRow(pol.String(), teps[i], teps[i]/teps[1])
+	}
+	t.Notes = append(t.Notes,
+		"paper: bind-to-socket = 1.74x of ppn=1.interleave and 2.08x of ppn=8.noflag")
+	return t, nil
+}
+
+// Fig11 reproduces the single-node execution-time breakdown and the
+// computation-phase speedups of binding: ppn=1.interleave vs
+// ppn=8.bind-to-socket. Paper shape: bottom-up computation speeds up
+// ~1.58x from the elimination of remote accesses; both computation
+// phases dominate the breakdown on one node.
+func Fig11(s Spec) (*Table, error) {
+	t := &Table{
+		Name:  "Fig. 11",
+		Title: "Execution time breakdown (ms) and computation speedup (1 node)",
+		Columns: []string{
+			"td-comp", "td-comm", "bu-comp", "bu-comm", "switch", "stall", "total",
+		},
+	}
+	var bds [2]trace.Breakdown
+	for i, pol := range []machine.Policy{machine.PPN1Interleave, machine.PPN8Bind} {
+		res, err := s.run(1, pol, bfs.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s: %w", pol, err)
+		}
+		bds[i] = res.Breakdown
+		t.AddRow(pol.String(),
+			bds[i].Ns[trace.TDComp]/1e6, bds[i].Ns[trace.TDComm]/1e6,
+			bds[i].Ns[trace.BUComp]/1e6, bds[i].Ns[trace.BUComm]/1e6,
+			bds[i].Ns[trace.Switch]/1e6, bds[i].Ns[trace.Stall]/1e6,
+			bds[i].Total()/1e6)
+	}
+	tdSpeedup := bds[0].Ns[trace.TDComp] / bds[1].Ns[trace.TDComp]
+	buSpeedup := bds[0].Ns[trace.BUComp] / bds[1].Ns[trace.BUComp]
+	t.AddRow("computation speedup (td, bu)", tdSpeedup, buSpeedup)
+	t.Notes = append(t.Notes, "paper: bottom-up computation speedup ~1.58x from binding")
+	return t, nil
+}
+
+// AlgorithmComparison reproduces the Section II.A measurement: on one
+// 64-core node, the hybrid algorithm against pure top-down and pure
+// bottom-up. Paper: hybrid = 27.3x top-down (pure MPI, 64 ranks) and
+// 4.7x bottom-up (8 ranks x 8 threads).
+func AlgorithmComparison(s Spec) (*Table, error) {
+	scale := s.scaleFor(1)
+	params := rmat.Graph500(scale)
+	t := &Table{
+		Name:    "Sec. II.A",
+		Title:   "Hybrid vs pure top-down vs pure bottom-up (64-core node)",
+		Columns: []string{"TEPS", "hybrid speedup"},
+	}
+
+	run := func(mode bfs.Mode, pureMPI bool) (float64, error) {
+		cfg := s.clusterConfig(1)
+		cfg.Nodes = 1
+		pol := machine.PPN8Bind
+		if pureMPI {
+			// 64 single-thread MPI ranks: model each core as its own
+			// bandwidth domain with 1/8 of a socket's resources.
+			cfg.SocketsPerNode = 64
+			cfg.CoresPerSocket = 1
+			cfg.MemBWPerSocket /= 8
+			cfg.L3Bytes /= 8
+			if cfg.L3Bytes < 64 {
+				cfg.L3Bytes = 64
+			}
+		}
+		opts := bfs.DefaultOptions()
+		opts.Mode = mode
+		res, err := graph500.Run(graph500.Config{
+			Machine: cfg, Policy: pol, Params: params,
+			Opts: opts, NumRoots: s.Roots, Validate: s.Validate,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.HarmonicTEPS, nil
+	}
+
+	hybrid, err := run(bfs.ModeHybrid, false)
+	if err != nil {
+		return nil, fmt.Errorf("algcmp hybrid: %w", err)
+	}
+	td, err := run(bfs.ModeTopDown, true)
+	if err != nil {
+		return nil, fmt.Errorf("algcmp top-down: %w", err)
+	}
+	bu, err := run(bfs.ModeBottomUp, false)
+	if err != nil {
+		return nil, fmt.Errorf("algcmp bottom-up: %w", err)
+	}
+	t.AddRow("hybrid (8 ranks x 8 threads)", hybrid, 1)
+	t.AddRow("top-down (pure MPI, 64 ranks)", td, hybrid/td)
+	t.AddRow("bottom-up (8 ranks x 8 threads)", bu, hybrid/bu)
+	t.Notes = append(t.Notes, "paper: hybrid 27.3x over top-down, 4.7x over bottom-up")
+	return t, nil
+}

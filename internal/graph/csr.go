@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is the local adjacency structure of one rank: the out-neighbour
+// lists of the vertices it owns, with global neighbour ids. The graph is
+// undirected, so every edge (u, v) appears in u's list on u's owner and
+// in v's list on v's owner.
+type CSR struct {
+	Lo, Hi int64   // owned vertex range [Lo, Hi)
+	RowPtr []int64 // len Hi-Lo+1
+	Col    []int64 // global neighbour ids, sorted per row
+}
+
+// NumLocal returns the number of owned vertices.
+func (c *CSR) NumLocal() int64 { return c.Hi - c.Lo }
+
+// NumEdges returns the number of stored directed adjacencies.
+func (c *CSR) NumEdges() int64 { return int64(len(c.Col)) }
+
+// Degree returns the degree of owned vertex v (global id).
+func (c *CSR) Degree(v int64) int64 {
+	i := v - c.Lo
+	return c.RowPtr[i+1] - c.RowPtr[i]
+}
+
+// Neighbors returns the neighbour list of owned vertex v (global id).
+// The returned slice aliases the CSR; do not modify.
+func (c *CSR) Neighbors(v int64) []int64 {
+	i := v - c.Lo
+	return c.Col[c.RowPtr[i]:c.RowPtr[i+1]]
+}
+
+// HasEdge reports whether owned vertex v has at least one neighbour.
+func (c *CSR) HasEdge(v int64) bool { return c.Degree(v) > 0 }
+
+// BytesApprox returns the approximate memory footprint of the CSR, used
+// by the cost model to size the structure for cache modelling.
+func (c *CSR) BytesApprox() int64 {
+	return int64(len(c.RowPtr))*8 + int64(len(c.Col))*8
+}
+
+// BuildCSR builds the CSR for owned range [lo, hi) from directed
+// adjacency pairs: pairs[2k] is a source in [lo, hi), pairs[2k+1] its
+// neighbour (global). Self-loops are dropped; duplicate adjacencies are
+// kept or deduplicated according to dedup (Graph500 permits multigraphs;
+// the reference BFS implementations deduplicate during construction).
+func BuildCSR(lo, hi int64, pairs []int64, dedup bool) *CSR {
+	if len(pairs)%2 != 0 {
+		panic("graph: odd pair slice")
+	}
+	n := hi - lo
+	c := &CSR{Lo: lo, Hi: hi, RowPtr: make([]int64, n+1)}
+	// Counting pass.
+	for k := 0; k < len(pairs); k += 2 {
+		u, v := pairs[k], pairs[k+1]
+		if u < lo || u >= hi {
+			panic(fmt.Sprintf("graph: source %d outside [%d, %d)", u, lo, hi))
+		}
+		if u == v {
+			continue
+		}
+		c.RowPtr[u-lo+1]++
+	}
+	for i := int64(0); i < n; i++ {
+		c.RowPtr[i+1] += c.RowPtr[i]
+	}
+	c.Col = make([]int64, c.RowPtr[n])
+	fill := make([]int64, n)
+	for k := 0; k < len(pairs); k += 2 {
+		u, v := pairs[k], pairs[k+1]
+		if u == v {
+			continue
+		}
+		i := u - lo
+		c.Col[c.RowPtr[i]+fill[i]] = v
+		fill[i]++
+	}
+	// Sort each row; optionally deduplicate in place.
+	for i := int64(0); i < n; i++ {
+		row := c.Col[c.RowPtr[i]:c.RowPtr[i+1]]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+	}
+	if dedup {
+		c = c.dedup()
+	}
+	return c
+}
+
+// dedup removes duplicate adjacencies from sorted rows, rebuilding the
+// CSR compactly.
+func (c *CSR) dedup() *CSR {
+	n := c.Hi - c.Lo
+	out := &CSR{Lo: c.Lo, Hi: c.Hi, RowPtr: make([]int64, n+1)}
+	col := make([]int64, 0, len(c.Col))
+	for i := int64(0); i < n; i++ {
+		row := c.Col[c.RowPtr[i]:c.RowPtr[i+1]]
+		var prev int64 = -1
+		for _, v := range row {
+			if v != prev {
+				col = append(col, v)
+				prev = v
+			}
+		}
+		out.RowPtr[i+1] = int64(len(col))
+	}
+	out.Col = col
+	return out
+}

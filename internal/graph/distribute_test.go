@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"testing"
+
+	"numabfs/internal/collective"
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/rmat"
+)
+
+// TestBuildDistributedMatchesGlobal: kernel 1's distributed construction
+// must produce, across all ranks, exactly the adjacency structure of the
+// sequential global build.
+func TestBuildDistributedMatchesGlobal(t *testing.T) {
+	const scale = 10
+	params := rmat.Graph500(scale)
+	want := BuildGlobal(params, true)
+
+	cfg := machine.TableI()
+	cfg.Nodes = 2
+	cfg.SocketsPerNode = 4
+	cfg.WeakNode = -1
+	pl := machine.PlacementFor(cfg, machine.PPN8Bind)
+	w := mpi.NewWorld(cfg, pl)
+	g := collective.WorldGroup(w)
+	part := NewPartition(params.NumVertices(), w.NumProcs())
+
+	locals := make([]*CSR, w.NumProcs())
+	w.Run(func(p *mpi.Proc) {
+		locals[p.Rank()] = BuildDistributed(p, g, part, params, true)
+	})
+
+	for rank, csr := range locals {
+		lo, hi := part.Range(rank)
+		if csr.Lo != lo || csr.Hi != hi {
+			t.Fatalf("rank %d: range [%d,%d), want [%d,%d)", rank, csr.Lo, csr.Hi, lo, hi)
+		}
+		for v := lo; v < hi; v++ {
+			got := csr.Neighbors(v)
+			ref := want.Neighbors(v)
+			if len(got) != len(ref) {
+				t.Fatalf("vertex %d: %d neighbours, want %d", v, len(got), len(ref))
+			}
+			for k := range got {
+				if got[k] != ref[k] {
+					t.Fatalf("vertex %d neighbour %d: %d, want %d", v, k, got[k], ref[k])
+				}
+			}
+		}
+	}
+	// Construction costs virtual time and network volume.
+	if w.MaxClock() <= 0 {
+		t.Fatal("construction charged no virtual time")
+	}
+	if vol := w.Net().Volume(); vol.IntraBytes+vol.InterBytes == 0 {
+		t.Fatal("construction moved no bytes")
+	}
+}

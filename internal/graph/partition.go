@@ -1,0 +1,76 @@
+// Package graph provides the distributed graph representation the
+// paper's BFS runs on: a 1-D block partition of the vertex set over MPI
+// ranks, a local CSR (compressed sparse row) adjacency structure per
+// rank, a distributed construction path (Graph500 kernel 1: route each
+// generated edge to the owners of both endpoints), and a sequential
+// reference BFS used by the validator and the tests.
+package graph
+
+import "fmt"
+
+// Partition is a 1-D block partition of vertices [0, N) over NP ranks.
+// Rank boundaries are aligned to 64 vertices so that each rank's slice of
+// a bitmap is a whole number of words — required for the allgather of
+// in_queue segments (and true in the reference code, where N and NP are
+// powers of two).
+type Partition struct {
+	N    int64
+	NP   int
+	offs []int64 // len NP+1; rank r owns [offs[r], offs[r+1])
+}
+
+// NewPartition builds the partition. It panics if N < NP (every rank
+// must own at least one vertex for the collectives to be meaningful).
+func NewPartition(n int64, np int) Partition {
+	if np < 1 || n < int64(np) {
+		panic(fmt.Sprintf("graph: cannot partition %d vertices over %d ranks", n, np))
+	}
+	// Equal word-aligned chunks: ceil(n/np) rounded up to 64.
+	chunk := (n + int64(np) - 1) / int64(np)
+	chunk = (chunk + 63) &^ 63
+	offs := make([]int64, np+1)
+	for r := 1; r <= np; r++ {
+		o := int64(r) * chunk
+		if o > n {
+			o = n
+		}
+		offs[r] = o
+	}
+	return Partition{N: n, NP: np, offs: offs}
+}
+
+// Owner returns the rank owning vertex v.
+func (p Partition) Owner(v int64) int {
+	chunk := p.offs[1] - p.offs[0]
+	if chunk == 0 {
+		return 0
+	}
+	r := int(v / chunk)
+	if r >= p.NP {
+		r = p.NP - 1
+	}
+	return r
+}
+
+// Range returns the vertex range [lo, hi) owned by rank r.
+func (p Partition) Range(r int) (lo, hi int64) { return p.offs[r], p.offs[r+1] }
+
+// Count returns the number of vertices rank r owns.
+func (p Partition) Count(r int) int64 { return p.offs[r+1] - p.offs[r] }
+
+// Offsets returns the NP+1 boundary offsets (shared; do not modify).
+func (p Partition) Offsets() []int64 { return p.offs }
+
+// WordOffsets returns the per-rank boundaries in 64-bit words, for use as
+// a bitmap allgather layout. All boundaries are word-aligned by
+// construction.
+func (p Partition) WordOffsets() []int64 {
+	w := make([]int64, len(p.offs))
+	for i, o := range p.offs {
+		if o%64 != 0 && i != len(p.offs)-1 {
+			panic("graph: partition boundary not word-aligned")
+		}
+		w[i] = (o + 63) / 64
+	}
+	return w
+}

@@ -1,0 +1,63 @@
+package graph
+
+import "numabfs/internal/rmat"
+
+// BuildGlobal materializes the whole graph as a single CSR — feasible at
+// the scales the examples and validator use, and the ground truth the
+// distributed construction must agree with.
+func BuildGlobal(p rmat.Params, dedup bool) *CSR {
+	n := p.NumVertices()
+	ne := p.NumEdges()
+	pairs := make([]int64, 0, 4*ne)
+	for i := int64(0); i < ne; i++ {
+		u, v := p.EdgeAt(i)
+		if u == v {
+			continue
+		}
+		pairs = append(pairs, u, v, v, u)
+	}
+	return BuildCSR(0, n, pairs, dedup)
+}
+
+// ReferenceBFS runs a sequential BFS over a global CSR and returns the
+// level of every vertex (-1 for unreachable) and the parent array (-1
+// for unreachable; root's parent is itself, per the Graph500 convention).
+func ReferenceBFS(c *CSR, root int64) (level, parent []int64) {
+	n := c.Hi - c.Lo
+	level = make([]int64, n)
+	parent = make([]int64, n)
+	for i := range level {
+		level[i] = -1
+		parent[i] = -1
+	}
+	level[root] = 0
+	parent[root] = root
+	frontier := []int64{root}
+	for depth := int64(1); len(frontier) > 0; depth++ {
+		var next []int64
+		for _, u := range frontier {
+			for _, v := range c.Neighbors(u) {
+				if level[v] < 0 {
+					level[v] = depth
+					parent[v] = u
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level, parent
+}
+
+// ConnectedComponent returns the number of vertices reachable from root
+// (including root) in a global CSR.
+func ConnectedComponent(c *CSR, root int64) int64 {
+	level, _ := ReferenceBFS(c, root)
+	var n int64
+	for _, l := range level {
+		if l >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package graph
+
+import "sort"
+
+// DegreeStats summarizes a degree distribution — R-MAT graphs are
+// scale-free, which is what makes frontier hubs dominate the early BFS
+// levels and the top-down phase's load so skewed.
+type DegreeStats struct {
+	Vertices int64
+	Edges    int64 // directed adjacencies
+	Isolated int64 // degree-0 vertices (never enter any frontier)
+	MaxDeg   int64
+	MeanDeg  float64
+	// P50/P90/P99 are degree percentiles over non-isolated vertices.
+	P50, P90, P99 int64
+}
+
+// Degrees computes the degree statistics of a global CSR.
+func Degrees(c *CSR) DegreeStats {
+	n := c.Hi - c.Lo
+	st := DegreeStats{Vertices: n, Edges: c.NumEdges()}
+	degs := make([]int64, 0, n)
+	for v := c.Lo; v < c.Hi; v++ {
+		d := c.Degree(v)
+		if d == 0 {
+			st.Isolated++
+			continue
+		}
+		degs = append(degs, d)
+		if d > st.MaxDeg {
+			st.MaxDeg = d
+		}
+	}
+	if n > 0 {
+		st.MeanDeg = float64(st.Edges) / float64(n)
+	}
+	if len(degs) > 0 {
+		sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+		st.P50 = degs[len(degs)/2]
+		st.P90 = degs[len(degs)*9/10]
+		st.P99 = degs[len(degs)*99/100]
+	}
+	return st
+}
+
+// DegreeHistogram buckets vertices by floor(log2(degree)); bucket 0
+// holds degree-1 vertices, bucket k holds degrees [2^k, 2^(k+1)).
+// Isolated vertices are excluded.
+func DegreeHistogram(c *CSR) []int64 {
+	var hist []int64
+	for v := c.Lo; v < c.Hi; v++ {
+		d := c.Degree(v)
+		if d == 0 {
+			continue
+		}
+		b := 0
+		for x := d; x > 1; x >>= 1 {
+			b++
+		}
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return hist
+}

@@ -1,0 +1,92 @@
+// Package graph500 implements the Graph500 evaluation methodology the
+// paper adopts: generate an R-MAT graph at a given scale (kernel 0),
+// build the distributed graph (kernel 1), run BFS from 64 random roots
+// with at least one incident edge (kernel 2), validate each BFS tree
+// against the specification, and report the harmonic mean of per-root
+// TEPS.
+package graph500
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/machine"
+	"numabfs/internal/rmat"
+	"numabfs/internal/stats"
+	"numabfs/internal/trace"
+)
+
+// DefaultRoots is the number of BFS iterations the spec prescribes.
+const DefaultRoots = 64
+
+// Config describes one benchmark run.
+type Config struct {
+	Machine  machine.Config
+	Policy   machine.Policy
+	Params   rmat.Params
+	Opts     bfs.Options
+	NumRoots int  // 0 means DefaultRoots
+	Validate bool // validate every BFS tree against the spec
+}
+
+// Result aggregates a benchmark run.
+type Result struct {
+	Config       Config
+	HarmonicTEPS float64
+	MeanTEPS     float64
+	MinTEPS      float64
+	MaxTEPS      float64
+	MeanTimeNs   float64
+	SetupNs      float64
+	PerRoot      []bfs.RootResult
+	// Breakdown is the per-phase time averaged over roots and ranks —
+	// the quantity Figs. 11-14 report.
+	Breakdown trace.Breakdown
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) (*Result, error) {
+	if cfg.NumRoots == 0 {
+		cfg.NumRoots = DefaultRoots
+	}
+	runner, err := bfs.NewRunner(cfg.Machine, cfg.Policy, cfg.Params, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	runner.Setup()
+	roots := cfg.Params.Roots(cfg.NumRoots, runner.HasEdgeGlobal)
+
+	res := &Result{Config: cfg, SetupNs: runner.SetupNs}
+	teps := make([]float64, 0, len(roots))
+	times := make([]float64, 0, len(roots))
+	for _, root := range roots {
+		rr := runner.RunRoot(root)
+		if cfg.Validate {
+			if err := ValidateRun(runner, root); err != nil {
+				return nil, fmt.Errorf("graph500: root %d: %w", root, err)
+			}
+		}
+		res.PerRoot = append(res.PerRoot, rr)
+		teps = append(teps, rr.TEPS)
+		times = append(times, rr.TimeNs)
+		res.Breakdown.Merge(rr.Breakdown)
+	}
+	res.HarmonicTEPS = stats.HarmonicMean(teps)
+	res.MeanTEPS = stats.Mean(teps)
+	res.MinTEPS = stats.Min(teps)
+	res.MaxTEPS = stats.Max(teps)
+	res.MeanTimeNs = stats.Mean(times)
+	res.Breakdown.Scale(1 / float64(len(roots)))
+	res.Breakdown.TDLevels /= len(roots)
+	res.Breakdown.BULevels /= len(roots)
+	res.Breakdown.BUCommCount /= len(roots)
+	return res, nil
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("scale=%d nodes=%d %s %s g=%d: harmonic TEPS=%.3e (mean %.3e) mean time=%.2fms",
+		r.Config.Params.Scale, r.Config.Machine.Nodes, r.Config.Policy,
+		r.Config.Opts.Opt, r.Config.Opts.Granularity,
+		r.HarmonicTEPS, r.MeanTEPS, r.MeanTimeNs/1e6)
+}

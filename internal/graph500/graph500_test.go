@@ -1,0 +1,195 @@
+package graph500
+
+import (
+	"strings"
+	"testing"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/machine"
+	"numabfs/internal/rmat"
+)
+
+func testConfig(scale int) Config {
+	cfg := machine.Scaled(scale, scale+12)
+	cfg.Nodes = 2
+	cfg.SocketsPerNode = 4
+	cfg.WeakNode = -1
+	return Config{
+		Machine:  cfg,
+		Policy:   machine.PPN8Bind,
+		Params:   rmat.Graph500(scale),
+		Opts:     bfs.DefaultOptions(),
+		NumRoots: 3,
+		Validate: true,
+	}
+}
+
+func TestRunValidatesAndAggregates(t *testing.T) {
+	res, err := Run(testConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRoot) != 3 {
+		t.Fatalf("PerRoot = %d", len(res.PerRoot))
+	}
+	if res.HarmonicTEPS <= 0 || res.MeanTEPS <= 0 {
+		t.Fatalf("TEPS: %+v", res)
+	}
+	if res.HarmonicTEPS > res.MeanTEPS+1e-6 {
+		t.Fatalf("harmonic %g > mean %g", res.HarmonicTEPS, res.MeanTEPS)
+	}
+	if res.MinTEPS > res.MaxTEPS {
+		t.Fatalf("min %g > max %g", res.MinTEPS, res.MaxTEPS)
+	}
+	if res.SetupNs <= 0 {
+		t.Fatal("construction time missing")
+	}
+	if res.Breakdown.Total() <= 0 {
+		t.Fatal("breakdown missing")
+	}
+	if !strings.Contains(res.String(), "harmonic TEPS") {
+		t.Fatalf("String() = %q", res.String())
+	}
+}
+
+func TestRunWithSingleRankPerNode(t *testing.T) {
+	// ppn=1 degenerates every node-aware path (leader == only rank,
+	// shared == private); the harness must still validate.
+	cfg := testConfig(12)
+	cfg.Policy = machine.PPN1Interleave
+	for _, opt := range []bfs.Opt{bfs.OptOriginal, bfs.OptShareAll, bfs.OptParAllgather} {
+		cfg.Opts.Opt = opt
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("opt %s: %v", opt, err)
+		}
+		if res.HarmonicTEPS <= 0 {
+			t.Fatalf("opt %s: TEPS = %g", opt, res.HarmonicTEPS)
+		}
+	}
+}
+
+func TestRunDefaultsRoots(t *testing.T) {
+	cfg := testConfig(12)
+	cfg.NumRoots = 0
+	cfg.Validate = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRoot) != DefaultRoots {
+		t.Fatalf("defaulted to %d roots, want %d", len(res.PerRoot), DefaultRoots)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := testConfig(12)
+	cfg.Opts.Granularity = 63
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for bad granularity")
+	}
+}
+
+func TestValidatorCatchesCorruptedTrees(t *testing.T) {
+	cfg := testConfig(12)
+	runner, err := bfs.NewRunner(cfg.Machine, cfg.Policy, cfg.Params, cfg.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Setup()
+	root := cfg.Params.Roots(1, runner.HasEdgeGlobal)[0]
+	runner.RunRoot(root)
+	if err := ValidateRun(runner, root); err != nil {
+		t.Fatalf("genuine tree rejected: %v", err)
+	}
+
+	// Corruption 1: break the root's self-parent.
+	parents := runner.ParentArrays()
+	own := cfg.Machine.Nodes * cfg.Machine.SocketsPerNode
+	_ = own
+	rootRank := runner.Part.Owner(root)
+	lo, _ := runner.Part.Range(rootRank)
+	orig := parents[rootRank][root-lo]
+	parents[rootRank][root-lo] = -1
+	if err := ValidateRun(runner, root); err == nil {
+		t.Fatal("validator accepted a rootless tree")
+	}
+	parents[rootRank][root-lo] = orig
+
+	// Corruption 2: point some visited vertex at a non-neighbour.
+	found := false
+corrupt:
+	for rank, pa := range parents {
+		rlo, _ := runner.Part.Range(rank)
+		for i := range pa {
+			v := rlo + int64(i)
+			if pa[i] >= 0 && v != root && pa[i] != v {
+				// Pick a parent that cannot be a neighbour of v: itself.
+				pa[i] = v
+				found = true
+				break corrupt
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no vertex to corrupt")
+	}
+	if err := ValidateRun(runner, root); err == nil {
+		t.Fatal("validator accepted a self-parented non-root vertex")
+	}
+}
+
+func TestValidatorCatchesUnreachedNeighbour(t *testing.T) {
+	// Rule 4: a visited vertex adjacent to an unvisited one means the
+	// BFS stopped short of the component's edge — un-visiting one
+	// interior vertex must be rejected.
+	cfg := testConfig(12)
+	runner, err := bfs.NewRunner(cfg.Machine, cfg.Policy, cfg.Params, cfg.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Setup()
+	root := cfg.Params.Roots(1, runner.HasEdgeGlobal)[0]
+	runner.RunRoot(root)
+
+	// Un-visit some non-root vertex that has visited neighbours.
+	parents := runner.ParentArrays()
+	for rank, pa := range parents {
+		lo, _ := runner.Part.Range(rank)
+		for i := range pa {
+			v := lo + int64(i)
+			if pa[i] >= 0 && v != root {
+				pa[i] = -1
+				if err := ValidateRun(runner, root); err == nil {
+					t.Fatal("validator accepted a hole in the visited set")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no vertex to corrupt")
+}
+
+func TestLevelsMatchesRelaxation(t *testing.T) {
+	cfg := testConfig(12)
+	runner, err := bfs.NewRunner(cfg.Machine, cfg.Policy, cfg.Params, cfg.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Setup()
+	root := cfg.Params.Roots(1, runner.HasEdgeGlobal)[0]
+	res := runner.RunRoot(root)
+	level := Levels(runner, root)
+	var visited int64
+	for _, l := range level {
+		if l >= 0 {
+			visited++
+		}
+	}
+	if visited != res.Visited {
+		t.Fatalf("Levels sees %d visited, runner reports %d", visited, res.Visited)
+	}
+	if level[root] != 0 {
+		t.Fatalf("root level = %d", level[root])
+	}
+}

@@ -1,0 +1,128 @@
+package graph500
+
+import (
+	"fmt"
+	"sort"
+
+	"numabfs/internal/bfs"
+)
+
+// ValidateRun checks the BFS tree left in a runner's rank states against
+// the Graph500 specification:
+//
+//  1. the root's parent is itself;
+//  2. every tree edge (v, parent[v]) exists in the graph;
+//  3. levels derived from the parent tree are consistent (each vertex is
+//     exactly one level below its parent) and the tree is acyclic;
+//  4. every graph edge joins vertices whose levels differ by at most
+//     one, and never joins a visited vertex to an unvisited one (so the
+//     visited set is exactly the root's connected component).
+func ValidateRun(r *bfs.Runner, root int64) error {
+	n := r.Params.NumVertices()
+	parent := make([]int64, n)
+	for rank, pa := range r.ParentArrays() {
+		lo, _ := r.Part.Range(rank)
+		copy(parent[lo:lo+int64(len(pa))], pa)
+	}
+	if parent[root] != root {
+		return fmt.Errorf("root %d has parent %d, want itself", root, parent[root])
+	}
+
+	// Derive levels by relaxation; depth passes suffice and a pass
+	// without progress with unvisited-but-parented vertices means a
+	// cycle or orphaned subtree.
+	level := make([]int64, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	pending := int64(0)
+	for v := int64(0); v < n; v++ {
+		if parent[v] >= 0 && v != root {
+			pending++
+		}
+	}
+	for pending > 0 {
+		progressed := int64(0)
+		for v := int64(0); v < n; v++ {
+			if level[v] >= 0 || parent[v] < 0 {
+				continue
+			}
+			if pl := level[parent[v]]; pl >= 0 {
+				level[v] = pl + 1
+				progressed++
+			}
+		}
+		if progressed == 0 {
+			return fmt.Errorf("%d vertices have parents but are unreachable from the root (cycle in tree)", pending)
+		}
+		pending -= progressed
+	}
+
+	// Per-rank edge and tree-edge checks.
+	for rank := 0; rank < r.W.NumProcs(); rank++ {
+		view := r.State(rank)
+		lo, hi := view.CSR.Lo, view.CSR.Hi
+		for v := lo; v < hi; v++ {
+			row := view.CSR.Neighbors(v)
+			if pv := parent[v]; pv >= 0 && v != root {
+				// Rule 2: the tree edge must be a graph edge.
+				i := sort.Search(len(row), func(i int) bool { return row[i] >= pv })
+				if i >= len(row) || row[i] != pv {
+					return fmt.Errorf("tree edge (%d, %d) is not a graph edge", v, pv)
+				}
+				// Rule 3: exactly one level apart.
+				if level[v] != level[pv]+1 {
+					return fmt.Errorf("vertex %d at level %d but parent %d at level %d", v, level[v], pv, level[pv])
+				}
+			}
+			// Rule 4: graph edges span at most one level; visited and
+			// unvisited vertices are never adjacent.
+			for _, u := range row {
+				lv, lu := level[v], level[u]
+				switch {
+				case lv < 0 && lu < 0:
+					// both outside the component: fine
+				case lv < 0 || lu < 0:
+					return fmt.Errorf("edge (%d, %d) joins visited and unvisited vertices (levels %d, %d)", v, u, lv, lu)
+				case lv-lu > 1 || lu-lv > 1:
+					return fmt.Errorf("edge (%d, %d) spans levels %d and %d", v, u, lv, lu)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Levels reconstructs the global level array from a runner's parent
+// arrays (for tests comparing against the sequential reference BFS).
+// Unreached vertices get -1.
+func Levels(r *bfs.Runner, root int64) []int64 {
+	n := r.Params.NumVertices()
+	parent := make([]int64, n)
+	for rank, pa := range r.ParentArrays() {
+		lo, _ := r.Part.Range(rank)
+		copy(parent[lo:lo+int64(len(pa))], pa)
+	}
+	level := make([]int64, n)
+	for i := range level {
+		level[i] = -1
+	}
+	if parent[root] < 0 {
+		return level
+	}
+	level[root] = 0
+	for changed := true; changed; {
+		changed = false
+		for v := int64(0); v < n; v++ {
+			if level[v] >= 0 || parent[v] < 0 {
+				continue
+			}
+			if pl := level[parent[v]]; pl >= 0 {
+				level[v] = pl + 1
+				changed = true
+			}
+		}
+	}
+	return level
+}

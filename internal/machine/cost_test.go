@@ -1,0 +1,92 @@
+package machine
+
+import "testing"
+
+func TestSeqBandwidthExceedsRandom(t *testing.T) {
+	c := TableI()
+	// Streaming transfers cross QPI at full link efficiency; random
+	// lines are derated.
+	for _, loc := range []Locality{Remote, Interleaved, NodeShared} {
+		seq := c.seqBandwidth(loc, c.SocketsPerNode)
+		rnd := c.randomBandwidth(loc, c.SocketsPerNode)
+		if rnd >= seq {
+			t.Errorf("%s: random bw %g not below streaming %g", loc, rnd, seq)
+		}
+	}
+	// Local traffic is not derated.
+	if c.randomBandwidth(Local, 1) != c.seqBandwidth(Local, 1) {
+		t.Error("local random bandwidth should equal streaming")
+	}
+}
+
+func TestShareBandwidthOnlyDividesNodeDomains(t *testing.T) {
+	c := TableI()
+	if got := c.shareBandwidth(Local, 100, 0.125); got != 100 {
+		t.Errorf("local bandwidth shared: %g", got)
+	}
+	if got := c.shareBandwidth(Interleaved, 100, 0.125); got != 12.5 {
+		t.Errorf("interleaved share = %g, want 12.5", got)
+	}
+	// Degenerate shares are ignored.
+	if got := c.shareBandwidth(Interleaved, 100, 0); got != 100 {
+		t.Errorf("zero share = %g", got)
+	}
+}
+
+func TestMissLatencyOrdering(t *testing.T) {
+	c := TableI()
+	local := c.missLatency(Local)
+	inter := c.missLatency(Interleaved)
+	remote := c.missLatency(Remote)
+	if !(local < inter && inter < remote) {
+		t.Fatalf("miss latency ordering wrong: %g %g %g", local, inter, remote)
+	}
+	if c.missLatency(Interleaved) != c.missLatency(NodeShared) {
+		t.Fatal("interleaved and node-shared DRAM latency should match")
+	}
+}
+
+func TestHitLatencyReplication(t *testing.T) {
+	c := TableI()
+	// A structure fitting the residency share of one L3 hits locally
+	// even when accessed node-wide (hot-line replication).
+	small := int64(float64(c.L3Bytes) * c.CacheResidency / 2)
+	if got := c.hitLatency(NodeShared, small); got != c.L3LatencyNs {
+		t.Fatalf("small shared structure hit latency = %g, want local L3 %g", got, c.L3LatencyNs)
+	}
+	// A much larger one mostly hits peer caches.
+	big := c.L3Bytes * 64
+	got := c.hitLatency(NodeShared, big)
+	if got <= c.L3LatencyNs || got > c.RemoteCacheNs {
+		t.Fatalf("large shared structure hit latency = %g, want within (L3, remote-cache]", got)
+	}
+	// Bound ranks always hit their own L3.
+	if c.hitLatency(Local, big) != c.L3LatencyNs {
+		t.Fatal("bound rank hit latency must be local L3")
+	}
+}
+
+func TestPhaseLoadAdd(t *testing.T) {
+	a := PhaseLoad{
+		Random:   []Access{{Count: 1, StructBytes: 10, Loc: Local}},
+		SeqBytes: 5,
+		CPUOps:   7,
+	}
+	b := PhaseLoad{
+		Random:   []Access{{Count: 2, StructBytes: 20, Loc: Remote}},
+		SeqBytes: 3,
+		SeqLoc:   Remote,
+		CPUOps:   1,
+	}
+	a.Add(b)
+	if len(a.Random) != 2 || a.SeqBytes != 8 || a.CPUOps != 8 || a.SeqLoc != Remote {
+		t.Fatalf("Add result: %+v", a)
+	}
+}
+
+func TestPhaseTimeEmptyLoadIsFree(t *testing.T) {
+	c := TableI()
+	if got := c.PhaseTime(PhaseLoad{}, 8, 1, 1); got != 0 {
+		t.Fatalf("empty phase costs %g", got)
+	}
+}

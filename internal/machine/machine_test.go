@@ -1,0 +1,197 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIValid(t *testing.T) {
+	c := TableI()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCores() != 1024 {
+		t.Fatalf("TotalCores = %d, want 1024 (the paper's thousand-core platform)", c.TotalCores())
+	}
+	if c.CoresPerNode() != 64 {
+		t.Fatalf("CoresPerNode = %d", c.CoresPerNode())
+	}
+	if c.NodeIBBandwidth() != 10 {
+		t.Fatalf("NodeIBBandwidth = %g GB/s, want 10 (2x 40Gb ports)", c.NodeIBBandwidth())
+	}
+	if !strings.Contains(c.Table1String(), "8 sockets") {
+		t.Fatal("Table1String missing socket count")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.SocketsPerNode = 0 },
+		func(c *Config) { c.CoresPerSocket = -1 },
+		func(c *Config) { c.L3Bytes = 0 },
+		func(c *Config) { c.MemBWPerSocket = 0 },
+		func(c *Config) { c.LocalMemNs = -5 },
+		func(c *Config) { c.MLP = 0 },
+		func(c *Config) { c.IBPorts = 0 },
+	}
+	for i, mod := range mods {
+		c := TableI()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mod %d: expected validation error", i)
+		}
+	}
+}
+
+func TestStreamBandwidthCurve(t *testing.T) {
+	c := TableI()
+	// Fig. 4's shape: aggregate bandwidth rises with streams up to the
+	// two-port peak; one stream reaches only about half.
+	agg1 := 1 * c.StreamBandwidth(1)
+	agg8 := 8 * c.StreamBandwidth(8)
+	if agg8 != c.NodeIBBandwidth() {
+		t.Fatalf("8 streams reach %g, want the %g peak", agg8, c.NodeIBBandwidth())
+	}
+	if agg1 > 0.6*agg8 {
+		t.Fatalf("1 stream reaches %g of %g — should be about half", agg1, agg8)
+	}
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		agg := float64(k) * c.StreamBandwidth(k)
+		if agg < prev {
+			t.Fatalf("aggregate bandwidth not monotone at %d streams", k)
+		}
+		prev = agg
+	}
+}
+
+func TestScaledPreservesRatios(t *testing.T) {
+	full := TableI()
+	s := Scaled(16, 28)
+	if want := full.L3Bytes >> 12; s.L3Bytes != want {
+		t.Fatalf("Scaled L3 = %d, want %d", s.L3Bytes, want)
+	}
+	if s.LocalMemNs != full.LocalMemNs {
+		t.Fatal("latencies must not scale")
+	}
+	// in_queue at the run scale relates to the scaled cache as the
+	// paper-scale in_queue relates to the real cache.
+	inqRun := int64(1) << 16 / 8
+	inqPaper := int64(1) << 28 / 8
+	rRun := float64(s.L3Bytes) / float64(inqRun)
+	rPaper := float64(full.L3Bytes) / float64(inqPaper)
+	if rRun/rPaper < 0.99 || rRun/rPaper > 1.01 {
+		t.Fatalf("cache:in_queue ratio drifted: %g vs %g", rRun, rPaper)
+	}
+	// No shrink when running at the paper's scale.
+	if same := Scaled(28, 28); same.L3Bytes != full.L3Bytes {
+		t.Fatal("Scaled at equal scales must not shrink")
+	}
+}
+
+func TestHitRateAndLatencyModel(t *testing.T) {
+	c := TableI()
+	// Tiny structure: fully cached.
+	if h := c.HitRate(1024, Local); h != 1 {
+		t.Fatalf("HitRate(small) = %g", h)
+	}
+	// Structure of twice the L3: the rank's residency share of 50%.
+	if h, want := c.HitRate(2*c.L3Bytes, Local), c.CacheResidency/2; h < want*0.99 || h > want*1.01 {
+		t.Fatalf("HitRate(2*L3, Local) = %g, want ~%g", h, want)
+	}
+	// Node-spanning access sees the aggregate (8x) cache, capped at 1.
+	hSpan := c.HitRate(2*c.L3Bytes, Interleaved)
+	hLocal := c.HitRate(2*c.L3Bytes, Local)
+	if want := minf(1, 8*hLocal); hSpan < want*0.99 {
+		t.Fatalf("aggregate cache missing: span %g vs local %g", hSpan, hLocal)
+	}
+	// Remote misses cost more than local ones.
+	local := c.AccessLatency(Access{Count: 1, StructBytes: 1 << 30, Loc: Local})
+	remote := c.AccessLatency(Access{Count: 1, StructBytes: 1 << 30, Loc: Remote})
+	inter := c.AccessLatency(Access{Count: 1, StructBytes: 1 << 30, Loc: Interleaved})
+	if !(local < inter && inter < remote) {
+		t.Fatalf("latency ordering wrong: local %g, interleaved %g, remote %g", local, inter, remote)
+	}
+}
+
+func TestPhaseTimeScalesWithThreads(t *testing.T) {
+	c := TableI()
+	load := PhaseLoad{
+		Random: []Access{{Count: 1 << 20, StructBytes: 1 << 30, Loc: Local}},
+		CPUOps: 1 << 20,
+	}
+	t1 := c.PhaseTime(load, 1, 1, 1)
+	t8 := c.PhaseTime(load, 8, 1, 1)
+	if t8 >= t1 {
+		t.Fatalf("more threads not faster: %g vs %g", t8, t1)
+	}
+	// But the bandwidth floor caps the speedup eventually (the few
+	// cache hits shave a little off the all-miss floor).
+	t512 := c.PhaseTime(load, 512, 1, 1)
+	if t512 < 0.9*float64(1<<20)*64/c.MemBWPerSocket {
+		t.Fatalf("PhaseTime %g below the bandwidth floor", t512)
+	}
+}
+
+func TestPhaseTimeNonNegativeProperty(t *testing.T) {
+	c := TableI()
+	f := func(count uint32, sizeKB uint16, threads uint8, locPick uint8) bool {
+		loc := Locality(int(locPick) % 5)
+		load := PhaseLoad{
+			Random:   []Access{{Count: int64(count % 1e6), StructBytes: int64(sizeKB)*1024 + 1, Loc: loc}},
+			SeqBytes: int64(count % 4096),
+			SeqLoc:   loc,
+			CPUOps:   int64(count % 1e5),
+		}
+		ns := c.PhaseTime(load, int(threads%64)+1, 1, 1)
+		return ns >= 0 && !isNaN(ns)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isNaN(x float64) bool { return x != x }
+
+func TestPlacements(t *testing.T) {
+	c := TableI()
+	for _, p := range []Policy{PPN1NoFlag, PPN1Interleave, PPN8NoFlag, PPN8Bind} {
+		pl := PlacementFor(c, p)
+		if pl.ProcsPerNode*pl.ThreadsPerProc != c.CoresPerNode() {
+			t.Errorf("%s: %d procs x %d threads != %d cores",
+				p, pl.ProcsPerNode, pl.ThreadsPerProc, c.CoresPerNode())
+		}
+		if pl.Procs(c) != c.Nodes*pl.ProcsPerNode {
+			t.Errorf("%s: Procs mismatch", p)
+		}
+	}
+	bind := PlacementFor(c, PPN8Bind)
+	if !bind.Bound || bind.GraphLoc != Local {
+		t.Error("PPN8Bind must pin ranks with local graph")
+	}
+	il := PlacementFor(c, PPN1Interleave)
+	if il.ProcsPerNode != 1 || il.GraphLoc != Interleaved {
+		t.Error("PPN1Interleave geometry wrong")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PPN8Bind.String() != "ppn=8.bind-to-socket" {
+		t.Fatalf("PPN8Bind = %q", PPN8Bind.String())
+	}
+	if PPN1Interleave.String() != "ppn=1.interleave" {
+		t.Fatalf("PPN1Interleave = %q", PPN1Interleave.String())
+	}
+	if Locality(99).String() == "" || Policy(99).String() == "" {
+		t.Fatal("unknown values must still render")
+	}
+}
+
+func TestWithNodes(t *testing.T) {
+	c := TableI().WithNodes(4)
+	if c.Nodes != 4 {
+		t.Fatalf("WithNodes: %d", c.Nodes)
+	}
+}

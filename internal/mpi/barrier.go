@@ -1,0 +1,63 @@
+package mpi
+
+import "sync"
+
+// barrier is a reusable N-party barrier that also computes the maximum
+// virtual clock among arrivals — the semantics of a barrier in virtual
+// time. A parity buffer publishes each generation's result: a rank cannot
+// be two generations ahead of any other, so two slots suffice.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	cur     float64    // max clock accumulating for the current generation
+	result  [2]float64 // published max per generation parity
+	aborted bool       // job aborted: release and fail all waiters
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// sync blocks until all n parties have arrived and returns the maximum
+// clock among them. If the job aborts while waiting, it panics with
+// errAborted so the rank unwinds.
+func (b *barrier) sync(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		panic(errAborted{})
+	}
+	gen := b.gen
+	if clock > b.cur {
+		b.cur = clock
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.result[gen&1] = b.cur
+		b.cur = 0
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.result[gen&1]
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+		if b.aborted {
+			panic(errAborted{})
+		}
+	}
+	return b.result[gen&1]
+}
+
+// abortAll releases every waiter with a failure.
+func (b *barrier) abortAll() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,93 @@
+package mpi
+
+import "fmt"
+
+// Request is a handle to a nonblocking operation. Complete it with Wait;
+// a Request must be waited on exactly once.
+type Request struct {
+	p    *Proc
+	done bool
+
+	// send fields
+	ack       chan float64
+	sendBytes int64
+
+	// recv fields
+	isRecv    bool
+	src, tag  int
+	postClock float64
+	out       *Msg
+}
+
+// Isend posts a nonblocking send. The transfer is timestamped with the
+// clock at post time, so computation between Isend and Wait genuinely
+// overlaps the transfer: Wait only advances the clock if the rendezvous
+// finishes after the rank's own work.
+func (p *Proc) Isend(dst, tag int, bytes int64, payload any, streams int) *Request {
+	if dst == p.rank {
+		panic(fmt.Sprintf("mpi: rank %d isend to self", p.rank))
+	}
+	m := message{
+		src: p.rank, tag: tag, bytes: bytes, streams: streams,
+		payload: payload, sent: p.clock, ack: make(chan float64, 1),
+	}
+	p.post(dst, m)
+	p.sentBytes += bytes
+	return &Request{p: p, ack: m.ack, sendBytes: bytes}
+}
+
+// Irecv posts a nonblocking receive from src with the given tag. The
+// message's transfer is timed from the later of the sender's post and
+// this receive's post, so work between Irecv and Wait overlaps the
+// incoming transfer. The received message is stored into out at Wait.
+func (p *Proc) Irecv(src, tag int, out *Msg) *Request {
+	if src == p.rank {
+		panic(fmt.Sprintf("mpi: rank %d irecv from self", p.rank))
+	}
+	return &Request{
+		p: p, isRecv: true, src: src, tag: tag,
+		postClock: p.clock, out: out,
+	}
+}
+
+// Wait completes the operation: it blocks until the rendezvous partner
+// has arrived, then advances the rank's clock to max(own clock, transfer
+// end) — the overlap semantics of MPI_Wait.
+func (r *Request) Wait() {
+	if r.done {
+		panic("mpi: Request waited on twice")
+	}
+	r.done = true
+	p := r.p
+	start := p.clock
+	if !r.isRecv {
+		end := p.await(r.ack)
+		if end > p.clock {
+			p.clock = end
+		}
+		p.commNs += p.clock - start
+		return
+	}
+	m := p.take(r.src)
+	if m.tag != r.tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, r.tag, r.src, m.tag))
+	}
+	begin := maxf(m.sent, r.postClock)
+	dur := p.w.net.TransferTime(m.bytes, p.w.procs[m.src].node, p.node, m.streams)
+	end := begin + dur
+	m.ack <- end
+	if end > p.clock {
+		p.clock = end
+	}
+	p.commNs += p.clock - start
+	if r.out != nil {
+		*r.out = Msg{Src: m.src, Tag: m.tag, Bytes: m.bytes, Payload: m.payload}
+	}
+}
+
+// WaitAll completes a set of requests in order.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}

@@ -1,0 +1,215 @@
+package mpi
+
+import "fmt"
+
+// message is an in-flight transfer. ack carries the rendezvous end time
+// back to the sender so both clocks agree.
+type message struct {
+	src, tag int
+	bytes    int64
+	streams  int
+	payload  any
+	sent     float64 // sender's clock when the send was posted
+	ack      chan float64
+}
+
+// Msg is a received message as seen by the application.
+type Msg struct {
+	Src     int
+	Tag     int
+	Bytes   int64
+	Payload any
+}
+
+// Proc is one simulated MPI rank. All methods must be called from the
+// rank's own goroutine (inside World.Run's body).
+type Proc struct {
+	w     *World
+	rank  int
+	node  int
+	local int // index within the node; equals the socket when bound
+
+	clock     float64 // virtual ns
+	commNs    float64 // cumulative time spent inside Send/Recv/Barrier
+	sentBytes int64   // cumulative bytes sent by this rank
+}
+
+// Rank returns the global rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Node returns the node index the rank lives on.
+func (p *Proc) Node() int { return p.node }
+
+// LocalRank returns the rank's index within its node.
+func (p *Proc) LocalRank() int { return p.local }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.w }
+
+// Clock returns the rank's virtual time in ns.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// CommNs returns the cumulative virtual time this rank has spent inside
+// communication calls (including waiting for partners).
+func (p *Proc) CommNs() float64 { return p.commNs }
+
+// SentBytes returns the cumulative payload bytes this rank has sent.
+func (p *Proc) SentBytes() int64 { return p.sentBytes }
+
+// Compute advances the rank's clock by ns of modelled computation.
+func (p *Proc) Compute(ns float64) {
+	if ns < 0 {
+		panic(fmt.Sprintf("mpi: rank %d negative compute %g", p.rank, ns))
+	}
+	p.clock += ns
+}
+
+// Send transfers bytes of payload to dst under tag. streams is the number
+// of same-node ranks concurrently driving the contended resource (NIC or
+// memory system) during the enclosing collective step; the caller — the
+// collective implementation — knows its own structure. Send blocks until
+// the matching Recv completes and advances the clock to the transfer end.
+func (p *Proc) Send(dst, tag int, bytes int64, payload any, streams int) {
+	if dst == p.rank {
+		panic(fmt.Sprintf("mpi: rank %d send to self", p.rank))
+	}
+	start := p.clock
+	m := message{
+		src: p.rank, tag: tag, bytes: bytes, streams: streams,
+		payload: payload, sent: p.clock, ack: make(chan float64, 1),
+	}
+	p.post(dst, m)
+	end := p.await(m.ack)
+	p.clock = end
+	p.commNs += end - start
+	p.sentBytes += bytes
+}
+
+// post delivers a message to dst's mailbox, failing if the job aborts.
+func (p *Proc) post(dst int, m message) {
+	select {
+	case p.w.mail[dst][p.rank] <- m:
+	case <-p.w.abort:
+		panic(errAborted{})
+	}
+}
+
+// await waits for a rendezvous acknowledgement, failing on abort.
+func (p *Proc) await(ack chan float64) float64 {
+	select {
+	case end := <-ack:
+		return end
+	case <-p.w.abort:
+		panic(errAborted{})
+	}
+}
+
+// take receives the next message from src, failing on abort.
+func (p *Proc) take(src int) message {
+	select {
+	case m := <-p.w.mail[p.rank][src]:
+		return m
+	case <-p.w.abort:
+		panic(errAborted{})
+	}
+}
+
+// Recv receives the next message from src, which must carry tag (the
+// simulated programs use fully matched, in-order communication; a tag
+// mismatch is a program bug and panics). The transfer starts when both
+// sides have arrived and both clocks advance to its end.
+func (p *Proc) Recv(src, tag int) Msg {
+	if src == p.rank {
+		panic(fmt.Sprintf("mpi: rank %d recv from self", p.rank))
+	}
+	start := p.clock
+	m := p.take(src)
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, tag, src, m.tag))
+	}
+	begin := maxf(m.sent, p.clock)
+	dur := p.w.net.TransferTime(m.bytes, p.w.procs[src].node, p.node, m.streams)
+	end := begin + dur
+	m.ack <- end
+	p.clock = end
+	p.commNs += end - start
+	return Msg{Src: m.src, Tag: m.tag, Bytes: m.bytes, Payload: m.payload}
+}
+
+// SendRecv posts a send to dst and a receive from src concurrently and
+// completes both, as MPI_Sendrecv does. Ring exchanges need this: with
+// blocking Send alone, a cycle of ranks would deadlock.
+func (p *Proc) SendRecv(dst, sendTag int, bytes int64, payload any, src, recvTag int, streams int) Msg {
+	start := p.clock
+	m := message{
+		src: p.rank, tag: sendTag, bytes: bytes, streams: streams,
+		payload: payload, sent: p.clock, ack: make(chan float64, 1),
+	}
+	p.post(dst, m)
+
+	// Receive inline while the send waits for its ack.
+	in := p.take(src)
+	if in.tag != recvTag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, recvTag, src, in.tag))
+	}
+	begin := maxf(in.sent, p.clock)
+	dur := p.w.net.TransferTime(in.bytes, p.w.procs[src].node, p.node, in.streams)
+	recvEnd := begin + dur
+	in.ack <- recvEnd
+
+	sendEnd := p.await(m.ack)
+	p.clock = maxf(recvEnd, sendEnd)
+	p.commNs += p.clock - start
+	p.sentBytes += bytes
+	return Msg{Src: in.src, Tag: in.tag, Bytes: in.bytes, Payload: in.payload}
+}
+
+// Barrier synchronizes all ranks: every clock advances to the maximum
+// arrival time plus the cost of a dissemination barrier (log2(np) rounds
+// at the slowest path's per-message overhead). It returns the rank's
+// wait time (max - own arrival), the "stall" of Fig. 11.
+func (p *Proc) Barrier() float64 {
+	start := p.clock
+	max := p.w.globalBarrier.sync(p.clock)
+	alpha := p.w.cfg.IntraNodeAlphaNs
+	if p.w.cfg.Nodes > 1 {
+		alpha = p.w.cfg.InterNodeAlphaNs
+	}
+	rounds := ceilLog2(p.w.NumProcs())
+	p.clock = max + float64(rounds)*alpha
+	p.commNs += p.clock - start
+	return max - start
+}
+
+// NodeBarrier synchronizes the ranks of p's node only (used around
+// shared-memory epochs). Returns the rank's wait time.
+func (p *Proc) NodeBarrier() float64 {
+	start := p.clock
+	max := p.w.nodeBarriers[p.node].sync(p.clock)
+	rounds := ceilLog2(p.w.ProcsPerNode())
+	p.clock = max + float64(rounds)*p.w.cfg.IntraNodeAlphaNs
+	p.commNs += p.clock - start
+	return max - start
+}
+
+// SharedWords returns the node-scoped shared region `name` (see
+// World.SharedWords); the region name is qualified with the node index so
+// each node gets its own copy.
+func (p *Proc) SharedWords(name string, words int64) []uint64 {
+	return p.w.SharedWords(fmt.Sprintf("%s@node%d", name, p.node), words)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ceilLog2(n int) int {
+	r := 0
+	for v := 1; v < n; v <<= 1 {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,199 @@
+// Package mpi is an execution-driven simulator of the MPI runtime the
+// paper's BFS is written against. Each rank is a goroutine executing the
+// real algorithm on real data; every rank carries a virtual clock in
+// nanoseconds. Computation advances a rank's clock by modelled phase
+// costs (internal/machine); point-to-point transfers rendezvous — the
+// transfer starts when both sides have arrived and both clocks advance to
+// its end, with the duration charged by the network model
+// (internal/simnet). Barriers synchronize clocks to the maximum plus a
+// dissemination-round cost and report each rank's wait (the paper's
+// "stall" time).
+//
+// The result is deterministic: virtual time depends only on the machine
+// configuration, the algorithm and the input — never on host scheduling
+// or host core count.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"numabfs/internal/machine"
+	"numabfs/internal/simnet"
+)
+
+// World is one simulated MPI job: a set of ranks placed on a machine.
+type World struct {
+	cfg machine.Config
+	pl  machine.Placement
+	net *simnet.Network
+
+	procs []*Proc
+	// mail[dst][src] carries messages from src to dst.
+	mail [][]chan message
+
+	globalBarrier *barrier
+	nodeBarriers  []*barrier
+
+	// abort is closed when any rank panics, releasing ranks blocked in
+	// communication (MPI job-abort semantics: one failing rank brings
+	// the whole job down instead of deadlocking its partners).
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	shmMu      sync.Mutex
+	shmRegions map[string][]uint64
+}
+
+// errAborted is the panic value delivered to ranks released by an abort.
+type errAborted struct{}
+
+func (errAborted) Error() string { return "mpi: job aborted by another rank's failure" }
+
+// doAbort releases every blocked rank.
+func (w *World) doAbort() {
+	w.abortOnce.Do(func() {
+		close(w.abort)
+		w.globalBarrier.abortAll()
+		for _, b := range w.nodeBarriers {
+			b.abortAll()
+		}
+	})
+}
+
+// NewWorld builds a world of pl.Procs(cfg) ranks over cfg. Rank r lives
+// on node r/ProcsPerNode; when the placement is bound, local rank i is
+// pinned to socket i.
+func NewWorld(cfg machine.Config, pl machine.Placement) *World {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	np := pl.Procs(cfg)
+	w := &World{
+		cfg:        cfg,
+		pl:         pl,
+		net:        simnet.New(cfg),
+		abort:      make(chan struct{}),
+		shmRegions: make(map[string][]uint64),
+	}
+	w.mail = make([][]chan message, np)
+	for d := range w.mail {
+		w.mail[d] = make([]chan message, np)
+		for s := range w.mail[d] {
+			// Capacity 1 lets the sender post and block on the ack,
+			// avoiding a second handshake for the common case.
+			w.mail[d][s] = make(chan message, 1)
+		}
+	}
+	w.globalBarrier = newBarrier(np)
+	w.nodeBarriers = make([]*barrier, cfg.Nodes)
+	for n := range w.nodeBarriers {
+		w.nodeBarriers[n] = newBarrier(pl.ProcsPerNode)
+	}
+	w.procs = make([]*Proc, np)
+	for r := 0; r < np; r++ {
+		w.procs[r] = &Proc{
+			w:     w,
+			rank:  r,
+			node:  r / pl.ProcsPerNode,
+			local: r % pl.ProcsPerNode,
+		}
+	}
+	return w
+}
+
+// NumProcs returns the number of ranks.
+func (w *World) NumProcs() int { return len(w.procs) }
+
+// ProcsPerNode returns ranks per node.
+func (w *World) ProcsPerNode() int { return w.pl.ProcsPerNode }
+
+// Config returns the machine configuration.
+func (w *World) Config() machine.Config { return w.cfg }
+
+// Placement returns the execution placement.
+func (w *World) Placement() machine.Placement { return w.pl }
+
+// Net returns the network model (for volume counters).
+func (w *World) Net() *simnet.Network { return w.net }
+
+// Proc returns rank r. Intended for post-run inspection.
+func (w *World) Proc(r int) *Proc { return w.procs[r] }
+
+// Run executes body once per rank, each on its own goroutine, and blocks
+// until all ranks return. A panic in any rank aborts the whole job —
+// ranks blocked in communication are released, as MPI would — and the
+// first failure is re-raised on the caller with its rank attached.
+func (w *World) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	panics := make(chan error, len(w.procs))
+	for _, p := range w.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, aborted := r.(errAborted); !aborted {
+						panics <- fmt.Errorf("mpi: rank %d panicked: %v", p.rank, r)
+					}
+					w.doAbort()
+				}
+			}()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-panics:
+		panic(err)
+	default:
+	}
+}
+
+// MaxClock returns the maximum virtual clock across ranks — the job's
+// virtual wall time.
+func (w *World) MaxClock() float64 {
+	var m float64
+	for _, p := range w.procs {
+		if p.clock > m {
+			m = p.clock
+		}
+	}
+	return m
+}
+
+// ResetClocks zeroes every rank's clock and counters (between BFS roots).
+func (w *World) ResetClocks() {
+	for _, p := range w.procs {
+		p.clock = 0
+		p.commNs = 0
+		p.sentBytes = 0
+	}
+	w.net.ResetVolume()
+}
+
+// SharedWords returns (allocating on first use) a word slice shared by
+// all ranks that request the same name. The BFS uses per-node names so
+// ranks of one node share one in_queue, mirroring the paper's
+// mmap-sharing. Callers synchronize access with node barriers.
+func (w *World) SharedWords(name string, words int64) []uint64 {
+	w.shmMu.Lock()
+	defer w.shmMu.Unlock()
+	if s, ok := w.shmRegions[name]; ok {
+		if int64(len(s)) != words {
+			panic(fmt.Sprintf("mpi: shared region %q size mismatch: have %d want %d", name, len(s), words))
+		}
+		return s
+	}
+	s := make([]uint64, words)
+	w.shmRegions[name] = s
+	return s
+}
+
+// DropShared removes a shared region so a later phase can re-create it
+// with a different size.
+func (w *World) DropShared(name string) {
+	w.shmMu.Lock()
+	defer w.shmMu.Unlock()
+	delete(w.shmRegions, name)
+}

@@ -1,0 +1,167 @@
+// Package rmat generates scale-free graphs with the R-MAT recursive
+// matrix model of Chakrabarti, Zhan and Faloutsos, using the Graph500
+// parameters (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) and edgefactor 16.
+//
+// Edges are generated independently by index: EdgeAt(i) derives a private
+// PRNG stream from (seed, i), so any rank of a distributed job can
+// generate any slice of the edge list without coordination — mirroring
+// the structure of the Graph500 reference generator. Vertex labels are
+// scrambled with a seeded bijective permutation so that vertex id carries
+// no locality information (the reference code's vertex scrambling).
+package rmat
+
+import (
+	"fmt"
+
+	"numabfs/internal/xrand"
+)
+
+// Params describes an R-MAT instance.
+type Params struct {
+	Scale      int     // log2 of the number of vertices
+	EdgeFactor int64   // edges per vertex (Graph500: 16)
+	A, B, C, D float64 // quadrant probabilities, summing to 1
+	Seed       uint64
+	// Scramble applies a uniform bijective relabelling to vertex ids, as
+	// the Graph500 specification requires (default). Disabling it keeps
+	// R-MAT's natural ordering, in which popular vertices cluster at low
+	// ids — useful for studying how clustered in_queue zeros interact
+	// with the summary granularity, at the price of heavy partition
+	// imbalance.
+	Scramble bool
+}
+
+// Graph500 returns the standard Graph500 R-MAT parameters at the given
+// scale, with spec-conforming vertex scrambling.
+func Graph500(scale int) Params {
+	return Params{
+		Scale:      scale,
+		EdgeFactor: 16,
+		A:          0.57,
+		B:          0.19,
+		C:          0.19,
+		D:          0.05,
+		Seed:       20120924, // CLUSTER 2012 conference date
+		Scramble:   true,
+	}
+}
+
+// WithScramble returns a copy of p with vertex scrambling set to on.
+func (p Params) WithScramble(on bool) Params {
+	p.Scramble = on
+	return p
+}
+
+// WithSeed returns a copy of p with the given seed.
+func (p Params) WithSeed(seed uint64) Params {
+	p.Seed = seed
+	return p
+}
+
+// NumVertices returns 2^Scale.
+func (p Params) NumVertices() int64 { return 1 << uint(p.Scale) }
+
+// NumEdges returns EdgeFactor * 2^Scale.
+func (p Params) NumEdges() int64 { return p.EdgeFactor << uint(p.Scale) }
+
+// Validate reports a parameter error, or nil.
+func (p Params) Validate() error {
+	if p.Scale < 1 || p.Scale > 40 {
+		return fmt.Errorf("rmat: scale %d out of range [1, 40]", p.Scale)
+	}
+	if p.EdgeFactor < 1 {
+		return fmt.Errorf("rmat: edge factor %d < 1", p.EdgeFactor)
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("rmat: quadrant probabilities sum to %g, want 1", sum)
+	}
+	if p.A < 0 || p.B < 0 || p.C < 0 || p.D < 0 {
+		return fmt.Errorf("rmat: negative quadrant probability")
+	}
+	return nil
+}
+
+// EdgeAt returns the endpoints of edge i (0 <= i < NumEdges), after
+// vertex scrambling. Self-loops are possible, as in the reference
+// generator; graph construction drops them.
+func (p Params) EdgeAt(i int64) (u, v int64) {
+	// A private stream per edge keeps generation order-independent.
+	rng := xrand.NewXoshiro256(mix(p.Seed, uint64(i)))
+	ab := p.A + p.B
+	acNorm := p.C / (p.C + p.D)
+	aNorm := p.A / ab
+	for bit := p.Scale - 1; bit >= 0; bit-- {
+		// Noise on the quadrant probabilities, as in the Graph500
+		// reference, prevents exact self-similarity artifacts.
+		f1 := 0.95 + 0.1*rng.Float64()
+		f2 := 0.95 + 0.1*rng.Float64()
+		r := rng.Float64()
+		if r > ab*f1/(ab*f1+(1-ab)) {
+			u |= 1 << uint(bit)
+			if rng.Float64() > acNorm*f2/(acNorm*f2+(1-acNorm)) {
+				v |= 1 << uint(bit)
+			}
+		} else if rng.Float64() > aNorm*f2/(aNorm*f2+(1-aNorm)) {
+			v |= 1 << uint(bit)
+		}
+	}
+	if p.Scramble {
+		return p.ScrambleVertex(u), p.ScrambleVertex(v)
+	}
+	return u, v
+}
+
+// Edges appends edges [lo, hi) to dst (as endpoint pairs) and returns it.
+func (p Params) Edges(dst []int64, lo, hi int64) []int64 {
+	for i := lo; i < hi; i++ {
+		u, v := p.EdgeAt(i)
+		dst = append(dst, u, v)
+	}
+	return dst
+}
+
+// ScrambleVertex applies a seeded bijection on [0, 2^Scale): two rounds
+// of multiply-by-odd and xorshift, both invertible modulo a power of two.
+func (p Params) ScrambleVertex(v int64) int64 {
+	mask := uint64(p.NumVertices() - 1)
+	x := uint64(v) & mask
+	k1 := (mix(p.Seed, 0xa5a5a5a5) | 1) // odd multiplier
+	k2 := (mix(p.Seed, 0x5a5a5a5a) | 1)
+	half := uint(p.Scale+1) / 2
+	x = (x * k1) & mask
+	x ^= (x >> half)
+	x = (x * k2) & mask
+	x ^= (x >> half)
+	return int64(x & mask)
+}
+
+// mix combines a seed and an index into a well-distributed 64-bit value.
+func mix(seed, i uint64) uint64 {
+	s := xrand.NewSplitMix64(seed ^ (i * 0x9e3779b97f4a7c15))
+	return s.Uint64()
+}
+
+// Roots returns n distinct BFS roots that have at least one incident
+// edge, chosen deterministically from the seed — the Graph500 evaluation
+// draws 64 such roots. hasEdge reports whether a vertex has neighbours.
+func (p Params) Roots(n int, hasEdge func(v int64) bool) []int64 {
+	rng := xrand.NewXoshiro256(mix(p.Seed, 0x0072007))
+	seen := make(map[int64]bool, n)
+	roots := make([]int64, 0, n)
+	nv := uint64(p.NumVertices())
+	// R-MAT graphs have many isolated vertices; bound the rejection
+	// sampling so a pathological hasEdge cannot spin forever.
+	for attempts := uint64(0); len(roots) < n; attempts++ {
+		if attempts > 256*nv {
+			panic(fmt.Sprintf("rmat: could not find %d rooted vertices (graph too sparse?)", n))
+		}
+		v := int64(rng.Uint64n(nv))
+		if seen[v] || !hasEdge(v) {
+			continue
+		}
+		seen[v] = true
+		roots = append(roots, v)
+	}
+	return roots
+}

@@ -1,0 +1,119 @@
+// Package simnet models the cluster interconnect of the paper's testbed:
+// two 40 Gb/s InfiniBand ports per node behind one 36-port switch, plus
+// the shared-memory path MPI uses between ranks of the same node.
+//
+// Transfers are charged with an alpha-beta model: a fixed per-message
+// overhead plus bytes over the path bandwidth. Inter-node bandwidth
+// depends on how many same-node ranks drive the NIC concurrently — one
+// rank's stream reaches only about half of the two-port peak, which is
+// the measured behaviour behind Fig. 4 and the motivation for the
+// parallelized allgather of Section III.B. Collective implementations
+// know their own communication structure, so they pass the concurrent
+// stream count explicitly; this keeps the model deterministic.
+package simnet
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"numabfs/internal/machine"
+)
+
+// Network charges virtual time for transfers over a machine's topology
+// and keeps volume counters used to verify Eq. (1) and Eq. (2).
+type Network struct {
+	cfg machine.Config
+
+	intraBytes atomic.Int64 // bytes moved between ranks of one node
+	interBytes atomic.Int64 // bytes moved between nodes
+	intraMsgs  atomic.Int64
+	interMsgs  atomic.Int64
+}
+
+// New returns a network over cfg.
+func New(cfg machine.Config) *Network {
+	return &Network{cfg: cfg}
+}
+
+// Config returns the machine configuration the network models.
+func (n *Network) Config() machine.Config { return n.cfg }
+
+// weak reports whether a node is the testbed's ill-performing node.
+func (n *Network) weak(node int) bool {
+	return n.cfg.WeakNode >= 0 && node == n.cfg.WeakNode
+}
+
+// InterNodeBandwidth returns the per-stream bandwidth (bytes/ns) of a
+// transfer between srcNode and dstNode when `streams` same-node ranks
+// drive each NIC concurrently.
+func (n *Network) InterNodeBandwidth(srcNode, dstNode, streams int) float64 {
+	bw := n.cfg.StreamBandwidth(streams)
+	if n.weak(srcNode) || n.weak(dstNode) {
+		f := n.cfg.WeakNodeBWFactor
+		if f <= 0 || f > 1 {
+			f = 1
+		}
+		bw *= f
+	}
+	return bw
+}
+
+// IntraNodeBandwidth returns the per-stream shared-memory copy bandwidth
+// when `streams` rank pairs of the node copy concurrently. The copies all
+// run through the node's memory system, so they share it.
+func (n *Network) IntraNodeBandwidth(streams int) float64 {
+	if streams < 1 {
+		streams = 1
+	}
+	return n.cfg.ShmCopyBW / float64(streams)
+}
+
+// TransferTime returns the virtual duration (ns) of moving `bytes` from a
+// rank on srcNode to a rank on dstNode with `streams` concurrent streams
+// on the contended resource (the NIC for inter-node, the memory system
+// for intra-node). A zero-byte transfer still pays the alpha overhead —
+// it is a synchronizing message.
+func (n *Network) TransferTime(bytes int64, srcNode, dstNode, streams int) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("simnet: negative transfer size %d", bytes))
+	}
+	if srcNode == dstNode {
+		n.intraBytes.Add(bytes)
+		n.intraMsgs.Add(1)
+		return n.cfg.IntraNodeAlphaNs + float64(bytes)/n.IntraNodeBandwidth(streams)
+	}
+	n.interBytes.Add(bytes)
+	n.interMsgs.Add(1)
+	return n.cfg.InterNodeAlphaNs + float64(bytes)/n.InterNodeBandwidth(srcNode, dstNode, streams)
+}
+
+// Volume reports cumulative transferred bytes and message counts.
+type Volume struct {
+	IntraBytes, InterBytes int64
+	IntraMsgs, InterMsgs   int64
+}
+
+// Volume returns the network's cumulative counters.
+func (n *Network) Volume() Volume {
+	return Volume{
+		IntraBytes: n.intraBytes.Load(),
+		InterBytes: n.interBytes.Load(),
+		IntraMsgs:  n.intraMsgs.Load(),
+		InterMsgs:  n.interMsgs.Load(),
+	}
+}
+
+// ResetVolume zeroes the counters (between experiment phases).
+func (n *Network) ResetVolume() {
+	n.intraBytes.Store(0)
+	n.interBytes.Store(0)
+	n.intraMsgs.Store(0)
+	n.interMsgs.Store(0)
+}
+
+// NodeBandwidthAt returns the aggregate node-to-node bandwidth achieved
+// when k ranks per node communicate simultaneously: k streams at the
+// shared-NIC rate. This is the curve of Fig. 4.
+func (n *Network) NodeBandwidthAt(k int) float64 {
+	return float64(k) * n.cfg.StreamBandwidth(k)
+}

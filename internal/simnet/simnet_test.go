@@ -1,0 +1,127 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"numabfs/internal/machine"
+)
+
+func testNet() *Network {
+	cfg := machine.TableI()
+	cfg.WeakNode = -1
+	return New(cfg)
+}
+
+func TestTransferTimeComponents(t *testing.T) {
+	n := testNet()
+	cfg := n.Config()
+	// Zero-byte transfers pay only alpha.
+	if got := n.TransferTime(0, 0, 1, 1); got != cfg.InterNodeAlphaNs {
+		t.Fatalf("zero-byte inter = %g, want alpha %g", got, cfg.InterNodeAlphaNs)
+	}
+	if got := n.TransferTime(0, 0, 0, 1); got != cfg.IntraNodeAlphaNs {
+		t.Fatalf("zero-byte intra = %g, want alpha %g", got, cfg.IntraNodeAlphaNs)
+	}
+	// One MB inter-node at one stream: alpha + bytes/stream-bw.
+	want := cfg.InterNodeAlphaNs + float64(1<<20)/cfg.StreamBandwidth(1)
+	if got := n.TransferTime(1<<20, 0, 1, 1); got != want {
+		t.Fatalf("1MB inter = %g, want %g", got, want)
+	}
+}
+
+func TestMoreStreamsSlowerEach(t *testing.T) {
+	n := testNet()
+	t1 := n.TransferTime(1<<20, 0, 1, 1)
+	t8 := n.TransferTime(1<<20, 0, 1, 8)
+	if t8 <= t1 {
+		t.Fatalf("per-stream time with 8 streams (%g) should exceed 1 stream (%g)", t8, t1)
+	}
+	// But aggregate improves: 8 concurrent 1MB transfers finish sooner
+	// than 8 sequential ones.
+	if t8 >= 8*t1 {
+		t.Fatalf("8 streams give no aggregate benefit: %g vs %g", t8, 8*t1)
+	}
+}
+
+func TestWeakNodeSlowsTransfers(t *testing.T) {
+	cfg := machine.TableI()
+	cfg.WeakNode = 2
+	cfg.WeakNodeBWFactor = 0.5
+	n := New(cfg)
+	normal := n.TransferTime(1<<20, 0, 1, 1)
+	weakSrc := n.TransferTime(1<<20, 2, 1, 1)
+	weakDst := n.TransferTime(1<<20, 0, 2, 1)
+	if weakSrc <= normal || weakDst <= normal {
+		t.Fatalf("weak node not slower: normal %g, src %g, dst %g", normal, weakSrc, weakDst)
+	}
+	// Intra-node traffic on the weak node is unaffected (its problem is
+	// the InfiniBand path).
+	intraWeak := n.TransferTime(1<<20, 2, 2, 1)
+	intraOK := n.TransferTime(1<<20, 0, 0, 1)
+	if intraWeak != intraOK {
+		t.Fatalf("weak node slowed intra traffic: %g vs %g", intraWeak, intraOK)
+	}
+}
+
+func TestVolumeCounters(t *testing.T) {
+	n := testNet()
+	n.TransferTime(100, 0, 0, 1)
+	n.TransferTime(200, 0, 1, 1)
+	n.TransferTime(300, 1, 0, 1)
+	v := n.Volume()
+	if v.IntraBytes != 100 || v.InterBytes != 500 {
+		t.Fatalf("volume = %+v", v)
+	}
+	if v.IntraMsgs != 1 || v.InterMsgs != 2 {
+		t.Fatalf("messages = %+v", v)
+	}
+	n.ResetVolume()
+	if v := n.Volume(); v.IntraBytes != 0 || v.InterBytes != 0 {
+		t.Fatalf("counters survive reset: %+v", v)
+	}
+}
+
+func TestNodeBandwidthCurve(t *testing.T) {
+	// Fig. 4's shape: monotone rise to the two-port peak.
+	n := testNet()
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		bw := n.NodeBandwidthAt(k)
+		if bw < prev {
+			t.Fatalf("bandwidth curve not monotone at %d streams", k)
+		}
+		prev = bw
+	}
+	if peak := n.Config().NodeIBBandwidth(); prev != peak {
+		t.Fatalf("8 streams reach %g, want peak %g", prev, peak)
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testNet().TransferTime(-1, 0, 1, 1)
+}
+
+func TestTransferTimeMonotoneInSizeProperty(t *testing.T) {
+	n := testNet()
+	f := func(a, b uint32, sameNode bool, streams uint8) bool {
+		s := int(streams%8) + 1
+		dst := 1
+		if sameNode {
+			dst = 0
+		}
+		lo, hi := int64(a%1e6), int64(b%1e6)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return n.TransferTime(lo, 0, dst, s) <= n.TransferTime(hi, 0, dst, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

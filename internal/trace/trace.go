@@ -1,0 +1,129 @@
+// Package trace records the per-phase execution-time breakdown the
+// paper's profiling reports (Figs. 11-14): top-down computation and
+// communication, bottom-up computation and communication, the top-down /
+// bottom-up switch conversions, and stall (idle time from load imbalance,
+// measured at the barrier preceding each communication phase).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Phase identifies one component of BFS execution time.
+type Phase int
+
+const (
+	TDComp Phase = iota // top-down computation
+	TDComm              // top-down communication (alltoallv + allreduce)
+	BUComp              // bottom-up computation
+	BUComm              // bottom-up communication (the two allgathers)
+	Switch              // td->bu and bu->td data-structure conversion
+	Stall               // idle time at phase barriers (load imbalance)
+	NumPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case TDComp:
+		return "td-comp"
+	case TDComm:
+		return "td-comm"
+	case BUComp:
+		return "bu-comp"
+	case BUComm:
+		return "bu-comm"
+	case Switch:
+		return "switch"
+	case Stall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// LevelStat records one BFS level as observed by a rank: which
+// procedure ran it, the global frontier it produced, and the rank's time
+// in it. The sequence of LevelStats is the frontier growth curve that
+// drives the hybrid switch (and the sparsity regime of the summary
+// bitmap).
+type LevelStat struct {
+	Level    int
+	BottomUp bool
+	// NF and MF are the allreduced size and edge sum of the frontier the
+	// level discovered.
+	NF, MF int64
+	// Ns is the rank's virtual time spent in the level (all phases).
+	Ns float64
+}
+
+// Breakdown accumulates virtual ns per phase, plus level counts.
+type Breakdown struct {
+	Ns       [NumPhases]float64
+	TDLevels int
+	BULevels int
+	// BUCommCount is the number of bottom-up communication phases, for
+	// Fig. 13's "average time per communication phase".
+	BUCommCount int
+}
+
+// Add charges ns to phase p.
+func (b *Breakdown) Add(p Phase, ns float64) { b.Ns[p] += ns }
+
+// Total returns the summed time over all phases.
+func (b *Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b.Ns {
+		t += v
+	}
+	return t
+}
+
+// Proportion returns phase p's share of the total (0 when total is 0).
+func (b *Breakdown) Proportion(p Phase) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Ns[p] / t
+}
+
+// AvgBUCommNs returns the average time of one bottom-up communication
+// phase (Fig. 13), or 0 if none ran.
+func (b *Breakdown) AvgBUCommNs() float64 {
+	if b.BUCommCount == 0 {
+		return 0
+	}
+	return b.Ns[BUComm] / float64(b.BUCommCount)
+}
+
+// Merge adds o into b (summing phases and counts).
+func (b *Breakdown) Merge(o Breakdown) {
+	for i := range b.Ns {
+		b.Ns[i] += o.Ns[i]
+	}
+	b.TDLevels += o.TDLevels
+	b.BULevels += o.BULevels
+	b.BUCommCount += o.BUCommCount
+}
+
+// Scale multiplies every accumulator by f (for averaging over roots).
+func (b *Breakdown) Scale(f float64) {
+	for i := range b.Ns {
+		b.Ns[i] *= f
+	}
+}
+
+// String renders a one-line ms breakdown.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for p := Phase(0); p < NumPhases; p++ {
+		if p > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%s=%.2fms", p, b.Ns[p]/1e6)
+	}
+	fmt.Fprintf(&sb, "  total=%.2fms", b.Total()/1e6)
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddTotalProportion(t *testing.T) {
+	var b Breakdown
+	b.Add(TDComp, 10)
+	b.Add(BUComp, 30)
+	b.Add(BUComm, 60)
+	if b.Total() != 100 {
+		t.Fatalf("Total = %g", b.Total())
+	}
+	if got := b.Proportion(BUComm); got != 0.6 {
+		t.Fatalf("Proportion(BUComm) = %g", got)
+	}
+	var empty Breakdown
+	if empty.Proportion(TDComp) != 0 {
+		t.Fatal("empty proportion should be 0")
+	}
+}
+
+func TestAvgBUComm(t *testing.T) {
+	var b Breakdown
+	b.Add(BUComm, 90)
+	b.BUCommCount = 3
+	if got := b.AvgBUCommNs(); got != 30 {
+		t.Fatalf("AvgBUCommNs = %g", got)
+	}
+	var none Breakdown
+	if none.AvgBUCommNs() != 0 {
+		t.Fatal("no comm phases should average 0")
+	}
+}
+
+func TestMergeAndScale(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Stall, 5)
+	a.TDLevels = 2
+	b.Add(Stall, 7)
+	b.BULevels = 3
+	b.BUCommCount = 3
+	a.Merge(b)
+	if a.Ns[Stall] != 12 || a.TDLevels != 2 || a.BULevels != 3 || a.BUCommCount != 3 {
+		t.Fatalf("merge: %+v", a)
+	}
+	a.Scale(0.5)
+	if a.Ns[Stall] != 6 {
+		t.Fatalf("scale: %g", a.Ns[Stall])
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		TDComp: "td-comp", TDComm: "td-comm", BUComp: "bu-comp",
+		BUComm: "bu-comm", Switch: "switch", Stall: "stall",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Phase(42).String() == "" {
+		t.Error("unknown phase must render")
+	}
+	var b Breakdown
+	b.Add(BUComp, 2e6)
+	if !strings.Contains(b.String(), "bu-comp=2.00ms") {
+		t.Errorf("Breakdown.String() = %q", b.String())
+	}
+}
