@@ -6,6 +6,7 @@
 //
 //	bfsbench -fig 9 -scale 16 -roots 8
 //	bfsbench -fig all -scale 14 -roots 2
+//	bfsbench -fig 11 -trace out.json -metrics
 //	bfsbench -fig table1
 package main
 
@@ -18,7 +19,61 @@ import (
 
 	"numabfs/internal/experiments"
 	"numabfs/internal/machine"
+	"numabfs/internal/obs"
 )
+
+// driver pairs a -fig key with its experiment.
+type driver struct {
+	key string
+	run func(experiments.Spec) (*experiments.Table, error)
+}
+
+// drivers lists every experiment in display order.
+var drivers = []driver{
+	{"3", experiments.Fig3},
+	{"4", experiments.Fig4},
+	{"6", experiments.Fig6},
+	{"9", experiments.Fig9},
+	{"10", experiments.Fig10},
+	{"11", experiments.Fig11},
+	{"12", experiments.Fig12},
+	{"13", experiments.Fig13},
+	{"14", experiments.Fig14},
+	{"15", experiments.Fig15},
+	{"16", experiments.Fig16},
+	{"algcmp", experiments.AlgorithmComparison},
+	{"levels", experiments.LevelProfile},
+	{"2d", experiments.Ext2D},
+	{"abl-allgather", experiments.AblationAllgather},
+	{"abl-hybrid", experiments.AblationHybrid},
+	{"abl-sharedegree", experiments.AblationShareDegree},
+}
+
+// figKeys returns every valid -fig value, including the special keys
+// that select no driver ("table1") or all of them ("all").
+func figKeys() []string {
+	keys := make([]string, 0, len(drivers)+2)
+	for _, d := range drivers {
+		keys = append(keys, d.key)
+	}
+	return append(keys, "table1", "all")
+}
+
+// unknownFigs returns the requested keys that are not valid -fig values,
+// preserving request order.
+func unknownFigs(want []string) []string {
+	valid := make(map[string]bool)
+	for _, k := range figKeys() {
+		valid[k] = true
+	}
+	var bad []string
+	for _, w := range want {
+		if !valid[w] {
+			bad = append(bad, w)
+		}
+	}
+	return bad
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,abl-allgather,abl-hybrid,all")
@@ -27,7 +82,20 @@ func main() {
 	validate := flag.Bool("validate", false, "validate every BFS tree (slow)")
 	weak := flag.Bool("weaknode", true, "model the testbed's one weak node in 16-node runs")
 	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in chrome://tracing or Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the aggregated observability report (per-phase time, message counts by hop, barrier waits, critical path)")
 	flag.Parse()
+
+	want := strings.Split(*fig, ",")
+	if bad := unknownFigs(want); len(bad) != 0 {
+		quoted := make([]string, len(bad))
+		for i, b := range bad {
+			quoted[i] = fmt.Sprintf("%q", b)
+		}
+		fmt.Fprintf(os.Stderr, "bfsbench: unknown -fig value(s) %s; valid keys: %s\n",
+			strings.Join(quoted, ","), strings.Join(figKeys(), ","))
+		os.Exit(2)
+	}
 
 	spec := experiments.Spec{
 		BaseScale: *scale,
@@ -35,32 +103,10 @@ func main() {
 		Validate:  *validate,
 		WeakNode:  *weak,
 	}
-
-	type driver struct {
-		key string
-		run func(experiments.Spec) (*experiments.Table, error)
-	}
-	drivers := []driver{
-		{"3", experiments.Fig3},
-		{"4", experiments.Fig4},
-		{"6", experiments.Fig6},
-		{"9", experiments.Fig9},
-		{"10", experiments.Fig10},
-		{"11", experiments.Fig11},
-		{"12", experiments.Fig12},
-		{"13", experiments.Fig13},
-		{"14", experiments.Fig14},
-		{"15", experiments.Fig15},
-		{"16", experiments.Fig16},
-		{"algcmp", experiments.AlgorithmComparison},
-		{"levels", experiments.LevelProfile},
-		{"2d", experiments.Ext2D},
-		{"abl-allgather", experiments.AblationAllgather},
-		{"abl-hybrid", experiments.AblationHybrid},
-		{"abl-sharedegree", experiments.AblationShareDegree},
+	if *traceOut != "" || *metrics {
+		spec.Obs = obs.NewRecorder()
 	}
 
-	want := strings.Split(*fig, ",")
 	match := func(key string) bool {
 		for _, w := range want {
 			if w == "all" || w == key {
@@ -98,5 +144,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *metrics {
+		fmt.Print(spec.Obs.BuildReport().String())
+	}
+	if *traceOut != "" {
+		if err := spec.Obs.WriteChromeTraceFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bfsbench: wrote Chrome trace to %s\n", *traceOut)
 	}
 }

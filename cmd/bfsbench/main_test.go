@@ -1,0 +1,35 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFigKeys(t *testing.T) {
+	keys := figKeys()
+	if len(keys) != len(drivers)+2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	seen := make(map[string]bool)
+	for _, k := range keys {
+		if k == "" || seen[k] {
+			t.Fatalf("empty or duplicate key in %v", keys)
+		}
+		seen[k] = true
+	}
+	for _, want := range []string{"11", "algcmp", "table1", "all"} {
+		if !seen[want] {
+			t.Errorf("missing key %q", want)
+		}
+	}
+}
+
+func TestUnknownFigs(t *testing.T) {
+	if got := unknownFigs([]string{"11", "all", "table1"}); got != nil {
+		t.Fatalf("valid keys flagged: %v", got)
+	}
+	got := unknownFigs([]string{"11", "bogus", "7", "levels"})
+	if !reflect.DeepEqual(got, []string{"bogus", "7"}) {
+		t.Fatalf("unknownFigs = %v, want [bogus 7]", got)
+	}
+}

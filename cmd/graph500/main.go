@@ -78,6 +78,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "graph seed (0 = default)")
 	levels := flag.Bool("levels", false, "print the frontier growth curve of the first root")
 	csvOut := flag.String("csv", "", "write per-root results as CSV to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the aggregated observability report")
 	flag.Parse()
 
 	pol, ok := map[string]numabfs.Policy{
@@ -127,6 +129,10 @@ func main() {
 		params = params.WithSeed(*seed)
 	}
 
+	var rec *numabfs.Recorder
+	if *traceOut != "" || *metrics {
+		rec = numabfs.NewRecorder()
+	}
 	res, err := numabfs.Run(numabfs.Benchmark{
 		Machine:  cfg,
 		Policy:   pol,
@@ -134,6 +140,7 @@ func main() {
 		Opts:     opts,
 		NumRoots: *roots,
 		Validate: *validate,
+		Obs:      rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "graph500: %v\n", err)
@@ -160,6 +167,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "graph500: csv: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *metrics {
+		fmt.Print(rec.BuildReport().String())
+	}
+	if *traceOut != "" {
+		if err := rec.WriteChromeTraceFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "graph500: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graph500: wrote Chrome trace to %s\n", *traceOut)
 	}
 	if *levels && len(res.PerRoot) > 0 {
 		fmt.Printf("\nfrontier growth (root %d):\n", res.PerRoot[0].Root)

@@ -25,8 +25,10 @@ func (rs *rankState) bottomUpLevel(p *mpi.Proc) (nf, mf int64) {
 		own[i] = 0
 	}
 	clr := rs.team.Parallel(machine.PhaseLoad{SeqBytes: wcnt * 8, SeqLoc: rs.outLoc()})
+	tc := p.Clock()
 	p.Compute(clr)
 	rs.bd.Add(trace.BUComp, clr)
+	rs.rec.PhaseSpan(trace.BUComp, rs.levels, tc, p.Clock())
 
 	// Computation: scan unvisited owned vertices.
 	inqLoc, sumLoc := r.inqLoc(), r.sumLoc()
@@ -67,8 +69,10 @@ func (rs *rankState) bottomUpLevel(p *mpi.Proc) (nf, mf int64) {
 		load.SeqLoc = r.pl.GraphLoc
 		load.CPUOps = edges*2 + (hi - lo)
 	})
+	tc = p.Clock()
 	p.Compute(res.Ns)
 	rs.bd.Add(trace.BUComp, res.Ns)
+	rs.rec.PhaseSpan(trace.BUComp, rs.levels, tc, p.Clock())
 
 	rs.stallBarrier(p, trace.BUComm)
 
@@ -76,14 +80,14 @@ func (rs *rankState) bottomUpLevel(p *mpi.Proc) (nf, mf int64) {
 	t0 := p.Clock()
 	rs.allgatherInQueue(p)
 	rs.allgatherSummary(p)
-	rs.bd.Add(trace.BUComm, p.Clock()-t0)
+	rs.charge(trace.BUComm, t0, p.Clock())
 	rs.bd.BUCommCount++
 
 	// Frontier accounting.
 	t0 = p.Clock()
 	nf = r.AllGroup.AllreduceSumInt64(p, nfLocal)
 	mf = r.AllGroup.AllreduceSumInt64(p, mfLocal)
-	rs.bd.Add(trace.BUComm, p.Clock()-t0)
+	rs.charge(trace.BUComm, t0, p.Clock())
 	return nf, mf
 }
 
@@ -125,7 +129,7 @@ func (rs *rankState) switchToBottomUp(p *mpi.Proc) {
 	p.Barrier()
 	rs.allgatherInQueue(p)
 	rs.allgatherSummary(p)
-	rs.bd.Add(trace.Switch, p.Clock()-t0)
+	rs.charge(trace.Switch, t0, p.Clock())
 }
 
 // switchToTopDown extracts the owned slice of the freshly allgathered
@@ -153,5 +157,5 @@ func (rs *rankState) switchToTopDown(p *mpi.Proc) {
 		CPUOps:   int64(len(rs.queue)) * 2,
 	}
 	p.Compute(rs.team.Parallel(load))
-	rs.bd.Add(trace.Switch, p.Clock()-t0)
+	rs.charge(trace.Switch, t0, p.Clock())
 }

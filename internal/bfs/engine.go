@@ -8,6 +8,7 @@ import (
 	"numabfs/internal/graph"
 	"numabfs/internal/machine"
 	"numabfs/internal/mpi"
+	"numabfs/internal/obs"
 	"numabfs/internal/omp"
 	"numabfs/internal/rmat"
 	"numabfs/internal/trace"
@@ -67,6 +68,10 @@ type rankState struct {
 	bd           trace.Breakdown
 	levels       int
 	levelStats   []trace.LevelStat
+
+	// rec is the rank's observability stream (nil = tracing off; every
+	// method on a nil stream no-ops).
+	rec *obs.Rank
 }
 
 // NewRunner builds a runner over cfg with the given placement policy.
@@ -111,6 +116,13 @@ func NewRunner(cfg machine.Config, policy machine.Policy, params rmat.Params, op
 	r.states = make([]*rankState, np)
 	return r, nil
 }
+
+// AttachObs routes the runner's world through an observability session:
+// per-rank span timelines, collective spans, and communication counters
+// (internal/obs). Call before Setup so the construction phase is
+// recorded too. Tracing never advances virtual time — results are
+// identical with and without a session.
+func (r *Runner) AttachObs(s *obs.Session) { r.W.AttachObs(s) }
 
 // sharedLoc is the locality of a node-shared structure: with one rank per
 // node "shared" degenerates to the rank's own interleaved memory.

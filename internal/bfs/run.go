@@ -12,6 +12,7 @@ import (
 func (rs *rankState) runBFS(p *mpi.Proc, root int64) {
 	r := rs.r
 	rs.reset()
+	rs.rec = p.Obs()
 
 	lo, _ := rs.csr.Lo, rs.csr.Hi
 	nfLocal, mfLocal := int64(0), int64(0)
@@ -27,7 +28,7 @@ func (rs *rankState) runBFS(p *mpi.Proc, root int64) {
 	t0 := p.Clock()
 	nf := r.AllGroup.AllreduceSumInt64(p, nfLocal)
 	mf := r.AllGroup.AllreduceSumInt64(p, mfLocal)
-	rs.bd.Add(trace.TDComm, p.Clock()-t0)
+	rs.charge(trace.TDComm, t0, p.Clock())
 	visitedEdgesGlobal := mf
 	totalEdges := r.totalEdges
 
@@ -57,6 +58,7 @@ func (rs *rankState) runBFS(p *mpi.Proc, root int64) {
 			Level: rs.levels, BottomUp: bottomUp, NF: nf, MF: mf,
 			Ns: p.Clock() - levelStart,
 		})
+		rs.rec.LevelSpan(bottomUp, rs.levels, levelStart, p.Clock())
 		if nf == 0 {
 			break
 		}
@@ -117,4 +119,15 @@ func (rs *rankState) stallBarrier(p *mpi.Proc, comm trace.Phase) {
 	wait := p.Barrier()
 	rs.bd.Add(trace.Stall, wait)
 	rs.bd.Add(comm, p.Clock()-t0-wait)
+	rs.rec.PhaseSpan(trace.Stall, rs.levels, t0, t0+wait)
+	rs.rec.PhaseSpan(comm, rs.levels, t0+wait, p.Clock())
+}
+
+// charge adds the [start, end) interval to phase ph and, when tracing
+// is on, records it as a span at the current level. The breakdown is
+// charged end-start exactly as the untraced accumulator was, so results
+// are bit-identical either way.
+func (rs *rankState) charge(ph trace.Phase, start, end float64) {
+	rs.bd.Add(ph, end-start)
+	rs.rec.PhaseSpan(ph, rs.levels, start, end)
 }

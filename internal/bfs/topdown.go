@@ -53,15 +53,17 @@ func (rs *rankState) topDownLevel(p *mpi.Proc) (nf, mf int64) {
 		CPUOps:   edges * 3,
 	}
 	ns := rs.team.ForBalanced(edges, tdChunk, load)
+	tc := p.Clock()
 	p.Compute(ns)
 	rs.bd.Add(trace.TDComp, ns)
+	rs.rec.PhaseSpan(trace.TDComp, rs.levels, tc, p.Clock())
 
 	rs.stallBarrier(p, trace.TDComm)
 
 	// Communication: route discovered pairs to their owners.
 	t0 := p.Clock()
 	recv := r.AllGroup.AlltoallvInt64(p, rs.send)
-	rs.bd.Add(trace.TDComm, p.Clock()-t0)
+	rs.charge(trace.TDComm, t0, p.Clock())
 
 	// Process received pairs (charged as top-down computation: the owner
 	// re-checks visitation just as the reference code does).
@@ -87,14 +89,16 @@ func (rs *rankState) topDownLevel(p *mpi.Proc) (nf, mf int64) {
 		CPUOps:   pairs * 2,
 	}
 	ns = rs.team.ForBalanced(pairs, tdChunk, proc)
+	tc = p.Clock()
 	p.Compute(ns)
 	rs.bd.Add(trace.TDComp, ns)
+	rs.rec.PhaseSpan(trace.TDComp, rs.levels, tc, p.Clock())
 
 	// Frontier accounting for termination and the hybrid switch.
 	t0 = p.Clock()
 	nf = r.AllGroup.AllreduceSumInt64(p, nfLocal)
 	mf = r.AllGroup.AllreduceSumInt64(p, mfLocal)
-	rs.bd.Add(trace.TDComm, p.Clock()-t0)
+	rs.charge(trace.TDComm, t0, p.Clock())
 	return nf, mf
 }
 

@@ -29,6 +29,7 @@ import (
 	"numabfs/internal/collective"
 	"numabfs/internal/machine"
 	"numabfs/internal/mpi"
+	"numabfs/internal/obs"
 	"numabfs/internal/omp"
 	"numabfs/internal/rmat"
 	"numabfs/internal/trace"
@@ -100,6 +101,9 @@ type rankState struct {
 	// "already sent this level".
 	sent      []int64
 	sentStamp int64
+
+	// rec is the rank's observability stream (nil = tracing off).
+	rec *obs.Rank
 }
 
 // NewRunner builds a 2-D runner. The placement policy fixes ranks per
@@ -145,6 +149,12 @@ func NewRunner(cfg machine.Config, policy machine.Policy, grid Grid, params rmat
 	r.states = make([]*rankState, np)
 	return r, nil
 }
+
+// AttachObs routes the runner's world through an observability session
+// (per-rank span timelines and communication counters). Call before
+// Setup so construction is recorded too; tracing never advances virtual
+// time.
+func (r *Runner) AttachObs(s *obs.Session) { r.W.AttachObs(s) }
 
 // rankOf maps grid coordinates to a rank: grid rows vary fastest within
 // a processor column, and a column's R ranks are consecutive — on an

@@ -6,6 +6,7 @@ import (
 
 	"numabfs/internal/graph"
 	"numabfs/internal/machine"
+	"numabfs/internal/obs"
 	"numabfs/internal/rmat"
 )
 
@@ -201,5 +202,52 @@ func TestNewRunnerRejectsBadGrid(t *testing.T) {
 	cfg := testConfig(12, 2, 4)
 	if _, err := NewRunner(cfg, machine.PPN8Bind, Grid{R: 3, C: 3}, rmat.Graph500(12)); err == nil {
 		t.Fatal("expected grid/ranks mismatch error")
+	}
+}
+
+// TestObsRecordsSpans checks the 2-D engine feeds the observability
+// layer: phase and level spans on every rank, without changing results.
+func TestObsRecordsSpans(t *testing.T) {
+	cfg := testConfig(12, 2, 4)
+	params := rmat.Graph500(12)
+	build := func(rec *obs.Recorder) *Runner {
+		r, err := NewRunner(cfg, machine.PPN8Bind, Grid{R: 2, C: 4}, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec != nil {
+			r.AttachObs(rec.NewSession("2d test"))
+		}
+		r.Setup()
+		return r
+	}
+	plain := build(nil)
+	root := params.Roots(1, plain.HasEdgeGlobal)[0]
+	want := plain.RunRoot(root)
+
+	rec := obs.NewRecorder()
+	traced := build(rec)
+	got := traced.RunRoot(root)
+	if got.TimeNs != want.TimeNs || got.Breakdown != want.Breakdown {
+		t.Fatalf("tracing changed 2-D results: %+v vs %+v", got, want)
+	}
+
+	sess := rec.Sessions()[0]
+	for _, rk := range sess.Ranks() {
+		var phases, levels int
+		for _, sp := range rk.Spans() {
+			switch sp.Cat {
+			case obs.CatPhase:
+				phases++
+			case obs.CatLevel:
+				levels++
+			}
+		}
+		if phases == 0 || levels == 0 {
+			t.Fatalf("rank %d recorded %d phase / %d level spans", rk.ID, phases, levels)
+		}
+		if levels != got.Levels {
+			t.Fatalf("rank %d level spans = %d, want %d", rk.ID, levels, got.Levels)
+		}
 	}
 }

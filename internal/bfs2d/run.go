@@ -78,6 +78,7 @@ func (rs *rankState) levelsRun() int { return rs.levels }
 func (rs *rankState) run(p *mpi.Proc, all *collective.Group, root int64) {
 	r := rs.r
 	rs.reset()
+	rs.rec = p.Obs()
 
 	lo := rs.ownLo()
 	var nfLocal int64
@@ -88,7 +89,7 @@ func (rs *rankState) run(p *mpi.Proc, all *collective.Group, root int64) {
 	}
 	t0 := p.Clock()
 	nf := all.AllreduceSumInt64(p, nfLocal)
-	rs.bd.Add(trace.TDComm, p.Clock()-t0)
+	rs.charge(trace.TDComm, t0, p.Clock())
 
 	col := r.cols[rs.j]
 	row := r.rows[rs.i]
@@ -99,9 +100,10 @@ func (rs *rankState) run(p *mpi.Proc, all *collective.Group, root int64) {
 
 		// EXPAND: gather the frontier of this column's blocks down the
 		// processor column.
-		t0 = p.Clock()
+		levelStart := p.Clock()
+		t0 = levelStart
 		lists := col.AllgathervInt64(p, rs.frontier)
-		rs.bd.Add(trace.TDComm, p.Clock()-t0)
+		rs.charge(trace.TDComm, t0, p.Clock())
 
 		// LOCAL: scan the expanded frontier's local adjacency.
 		for c := range send {
@@ -140,17 +142,21 @@ func (rs *rankState) run(p *mpi.Proc, all *collective.Group, root int64) {
 			CPUOps:   edges * 3,
 		}
 		ns := rs.team.ForBalanced(edges, 256, load)
+		tc := p.Clock()
 		p.Compute(ns)
 		rs.bd.Add(trace.TDComp, ns)
+		rs.rec.PhaseSpan(trace.TDComp, rs.levels, tc, p.Clock())
 
 		// FOLD: route candidates along the grid row to their owners.
 		t0 = p.Clock()
 		wait := p.Barrier()
 		rs.bd.Add(trace.Stall, wait)
 		rs.bd.Add(trace.TDComm, p.Clock()-t0-wait)
+		rs.rec.PhaseSpan(trace.Stall, rs.levels, t0, t0+wait)
+		rs.rec.PhaseSpan(trace.TDComm, rs.levels, t0+wait, p.Clock())
 		t0 = p.Clock()
 		recv := row.AlltoallvInt64(p, send)
-		rs.bd.Add(trace.TDComm, p.Clock()-t0)
+		rs.charge(trace.TDComm, t0, p.Clock())
 
 		// Resolve visitation at the owners.
 		rs.frontier = rs.frontier[:0]
@@ -176,14 +182,24 @@ func (rs *rankState) run(p *mpi.Proc, all *collective.Group, root int64) {
 			CPUOps:   pairs * 2,
 		}
 		ns = rs.team.ForBalanced(pairs, 256, proc)
+		tc = p.Clock()
 		p.Compute(ns)
 		rs.bd.Add(trace.TDComp, ns)
+		rs.rec.PhaseSpan(trace.TDComp, rs.levels, tc, p.Clock())
 
 		t0 = p.Clock()
 		nf = all.AllreduceSumInt64(p, nfLocal)
-		rs.bd.Add(trace.TDComm, p.Clock()-t0)
+		rs.charge(trace.TDComm, t0, p.Clock())
 		rs.bd.TDLevels++
+		rs.rec.LevelSpan(false, rs.levels, levelStart, p.Clock())
 	}
+}
+
+// charge adds the [start, end) interval to phase ph and, when tracing
+// is on, records it as a span at the current level.
+func (rs *rankState) charge(ph trace.Phase, start, end float64) {
+	rs.bd.Add(ph, end-start)
+	rs.rec.PhaseSpan(ph, rs.levels, start, end)
 }
 
 // reset clears per-root state.

@@ -53,7 +53,9 @@ func (g *Group) AllgatherRing(p *mpi.Proc, buf []uint64, l Layout) {
 		sendTo[i] = (i + 1) % n
 	}
 	streams := g.stepStreams(sendTo)
+	t0 := p.Clock()
 	g.allgatherRingStreams(p, buf, l, streams[g.Pos(p.Rank())])
+	p.Obs().Collective("allgather-ring", t0, p.Clock())
 }
 
 // allgatherRingStreams is AllgatherRing with an explicit stream count,
@@ -95,6 +97,7 @@ func (g *Group) AllgatherRecDouble(p *mpi.Proc, buf []uint64, l Layout) {
 		panic("collective: recursive doubling needs a power-of-two group")
 	}
 	me := g.Pos(p.Rank())
+	t0 := p.Clock()
 	steps := bits.TrailingZeros(uint(n))
 	sendTo := make([]int, n)
 	for k := 0; k < steps; k++ {
@@ -128,6 +131,7 @@ func (g *Group) AllgatherRecDouble(p *mpi.Proc, buf []uint64, l Layout) {
 			copy(l.seg(buf, id), in.data[j])
 		}
 	}
+	p.Obs().Collective("allgather-recdouble", t0, p.Clock())
 }
 
 // AllreduceSumInt64 returns the sum of x over the group using recursive
@@ -139,10 +143,12 @@ func (g *Group) AllreduceSumInt64(p *mpi.Proc, x int64) int64 {
 		return x
 	}
 	me := g.Pos(p.Rank())
+	t0 := p.Clock()
 	if n&(n-1) != 0 {
 		// Linear fallback: gather to position 0, broadcast the sum.
+		var sum int64
 		if me == 0 {
-			sum := x
+			sum = x
 			for i := 1; i < n; i++ {
 				m := p.Recv(g.ranks[i], tagAllreduce)
 				sum += m.Payload.(int64)
@@ -150,11 +156,13 @@ func (g *Group) AllreduceSumInt64(p *mpi.Proc, x int64) int64 {
 			for i := 1; i < n; i++ {
 				p.Send(g.ranks[i], tagAllreduce+1, 8, sum, 1)
 			}
-			return sum
+		} else {
+			p.Send(g.ranks[0], tagAllreduce, 8, x, 1)
+			m := p.Recv(g.ranks[0], tagAllreduce+1)
+			sum = m.Payload.(int64)
 		}
-		p.Send(g.ranks[0], tagAllreduce, 8, x, 1)
-		m := p.Recv(g.ranks[0], tagAllreduce+1)
-		return m.Payload.(int64)
+		p.Obs().Collective("allreduce", t0, p.Clock())
+		return sum
 	}
 	steps := bits.TrailingZeros(uint(n))
 	sendTo := make([]int, n)
@@ -169,5 +177,6 @@ func (g *Group) AllreduceSumInt64(p *mpi.Proc, x int64) int64 {
 		m := p.SendRecv(partner, tagAllreduce+2+k, 8, sum, partner, tagAllreduce+2+k, streams[me])
 		sum += m.Payload.(int64)
 	}
+	p.Obs().Collective("allreduce", t0, p.Clock())
 	return sum
 }

@@ -26,6 +26,7 @@ func (g *Group) AllgathervInt64(p *mpi.Proc, mine []int64) [][]int64 {
 	}
 	streams := g.stepStreams(sendTo)
 
+	t0 := p.Clock()
 	for s := 0; s < n-1; s++ {
 		sendID := (me - s + n) % n
 		recvID := (me - s - 1 + n) % n
@@ -38,5 +39,6 @@ func (g *Group) AllgathervInt64(p *mpi.Proc, mine []int64) [][]int64 {
 		}
 		out[recvID] = m.Payload.([]int64)
 	}
+	p.Obs().Collective("allgatherv-list", t0, p.Clock())
 	return out
 }

@@ -19,6 +19,7 @@ func (g *Group) AlltoallvInt64(p *mpi.Proc, send [][]int64) [][]int64 {
 	if n == 1 {
 		return recv
 	}
+	t0 := p.Clock()
 	for s := 1; s < n; s++ {
 		dst := (me + s) % n
 		src := (me - s + n) % n
@@ -33,5 +34,6 @@ func (g *Group) AlltoallvInt64(p *mpi.Proc, send [][]int64) [][]int64 {
 			recv[src] = m.Payload.([]int64)
 		}
 	}
+	p.Obs().Collective("alltoallv", t0, p.Clock())
 	return recv
 }

@@ -84,6 +84,7 @@ func (t *StepTimes) add(o StepTimes) {
 func (nc *NodeComm) LeaderAllgather(p *mpi.Proc, buf []uint64, l Layout) StepTimes {
 	var st StepTimes
 	node := nc.Nodes[p.Node()]
+	tc := p.Clock()
 
 	t0 := p.Clock()
 	node.GatherBinomial(p, buf, nc.localView(l, p.Node()), 0)
@@ -98,6 +99,7 @@ func (nc *NodeComm) LeaderAllgather(p *mpi.Proc, buf []uint64, l Layout) StepTim
 	t0 = p.Clock()
 	node.BcastBinomial(p, buf, l.TotalWords(), 0)
 	st.BcastNs = p.Clock() - t0
+	p.Obs().Collective("leader-allgather", tc, p.Clock())
 	return st
 }
 
@@ -120,6 +122,7 @@ func (nc *NodeComm) SharedInQueueAllgather(p *mpi.Proc, shared []uint64, seg []u
 	var st StepTimes
 	node := nc.Nodes[p.Node()]
 	me := nc.World.Pos(p.Rank())
+	tc := p.Clock()
 
 	// Step 1: children send their segment to the leader, which writes it
 	// into the shared buffer. The leader's own segment is copied by its
@@ -151,6 +154,7 @@ func (nc *NodeComm) SharedInQueueAllgather(p *mpi.Proc, shared []uint64, seg []u
 	node.barrierVia(p)
 	st.BcastNs = 0
 	st.InterNs += p.Clock() - t0 // children wait for the leader here
+	p.Obs().Collective("shared-inq-allgather", tc, p.Clock())
 	return st
 }
 
@@ -163,6 +167,7 @@ func (nc *NodeComm) SharedAllAgather(p *mpi.Proc, sharedIn, sharedOut []uint64, 
 	var st StepTimes
 	node := nc.Nodes[p.Node()]
 	nl := nc.nodeLayout(l)
+	tc := p.Clock()
 
 	if p.LocalRank() == 0 {
 		// Copy the node's slice from the shared out region in place; this
@@ -184,6 +189,7 @@ func (nc *NodeComm) SharedAllAgather(p *mpi.Proc, sharedIn, sharedOut []uint64, 
 	t0 := p.Clock()
 	node.barrierVia(p)
 	st.InterNs += p.Clock() - t0
+	p.Obs().Collective("shared-all-allgather", tc, p.Clock())
 	return st
 }
 
@@ -198,6 +204,7 @@ func (nc *NodeComm) ParallelAllgather(p *mpi.Proc, shared []uint64, seg []uint64
 	me := nc.World.Pos(p.Rank())
 	node := nc.Nodes[p.Node()]
 	sub := nc.Subs[p.LocalRank()]
+	tc := p.Clock()
 
 	t0 := p.Clock()
 	copy(l.seg(shared, me), seg)
@@ -218,6 +225,7 @@ func (nc *NodeComm) ParallelAllgather(p *mpi.Proc, shared []uint64, seg []uint64
 	t0 = p.Clock()
 	node.barrierVia(p)
 	st.InterNs += p.Clock() - t0
+	p.Obs().Collective("par-allgather", tc, p.Clock())
 	return st
 }
 
@@ -237,6 +245,7 @@ func (nc *NodeComm) SharedInPlaceAllgather(p *mpi.Proc, shared []uint64, l Layou
 	}
 	node.barrierVia(p)
 	st.InterNs = p.Clock() - t0
+	p.Obs().Collective("shared-inplace-allgather", t0, p.Clock())
 	return st
 }
 
@@ -246,6 +255,7 @@ func (nc *NodeComm) ParallelAllgatherInPlace(p *mpi.Proc, shared []uint64, l Lay
 	var st StepTimes
 	node := nc.Nodes[p.Node()]
 	sub := nc.Subs[p.LocalRank()]
+	tc := p.Clock()
 
 	t0 := p.Clock()
 	counts := make([]int64, sub.Size())
@@ -261,6 +271,7 @@ func (nc *NodeComm) ParallelAllgatherInPlace(p *mpi.Proc, shared []uint64, l Lay
 	t0 = p.Clock()
 	node.barrierVia(p)
 	st.InterNs += p.Clock() - t0
+	p.Obs().Collective("par-allgather-inplace", tc, p.Clock())
 	return st
 }
 

@@ -18,7 +18,9 @@ import (
 	"numabfs/internal/bfs"
 	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
+	"numabfs/internal/obs"
 	"numabfs/internal/rmat"
+	"numabfs/internal/trace"
 )
 
 // Spec sizes an experiment run.
@@ -35,6 +37,10 @@ type Spec struct {
 	// runs (the paper's results include it; Figs. 13-14 exclude 16-node
 	// points because of it).
 	WeakNode bool
+	// Obs, when non-nil, records every benchmark configuration the
+	// driver runs into its own labeled session (span timelines, comm
+	// counters) for Chrome-trace export and the metrics report.
+	Obs *obs.Recorder
 }
 
 // Quick returns a spec small enough for unit tests.
@@ -73,6 +79,7 @@ func (s Spec) run(nodes int, policy machine.Policy, opts bfs.Options) (*graph500
 		Opts:     opts,
 		NumRoots: s.Roots,
 		Validate: s.Validate,
+		Obs:      s.Obs,
 	})
 }
 
@@ -85,6 +92,10 @@ type Table struct {
 	Columns []string `json:"columns"`
 	Rows    []Row    `json:"rows"`
 	Notes   []string `json:"notes,omitempty"`
+	// Breakdowns carries the per-phase time breakdown of each
+	// configuration for drivers that measure one (Fig. 11), keyed by row
+	// label.
+	Breakdowns map[string]trace.Breakdown `json:"breakdowns,omitempty"`
 }
 
 // Row is one labelled series of values.

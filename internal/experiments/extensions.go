@@ -41,6 +41,9 @@ func Ext2D(s Spec) (*Table, error) {
 			if err != nil {
 				return sr, err
 			}
+			if s.Obs != nil {
+				r.AttachObs(s.Obs.NewSession(fmt.Sprintf("ext2d 1-D %s nodes=%d", mode, nodes)))
+			}
 			r.Setup()
 			roots := r.Params.Roots(s.Roots, r.HasEdgeGlobal)
 			var teps, comm []float64
@@ -72,6 +75,9 @@ func Ext2D(s Spec) (*Table, error) {
 		r, err := bfs2d.NewRunner(cfg, machine.PPN8Bind, grid, rmat.Graph500(scale))
 		if err != nil {
 			return nil, fmt.Errorf("ext2d 2-D: %w", err)
+		}
+		if s.Obs != nil {
+			r.AttachObs(s.Obs.NewSession(fmt.Sprintf("ext2d 2-D %dx%d nodes=%d", grid.R, grid.C, nodes)))
 		}
 		r.Setup()
 		roots := r.Params.Roots(s.Roots, r.HasEdgeGlobal)

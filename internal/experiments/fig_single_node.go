@@ -45,6 +45,7 @@ func Fig3(s Spec) (*Table, error) {
 		res, err := graph500.Run(graph500.Config{
 			Machine: cfg, Policy: v.policy, Params: params,
 			Opts: opts, NumRoots: s.Roots, Validate: s.Validate,
+			Obs: s.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig3 %s: %w", v.label, err)
@@ -100,6 +101,7 @@ func Fig11(s Spec) (*Table, error) {
 			"td-comp", "td-comm", "bu-comp", "bu-comm", "switch", "stall", "total",
 		},
 	}
+	t.Breakdowns = make(map[string]trace.Breakdown)
 	var bds [2]trace.Breakdown
 	for i, pol := range []machine.Policy{machine.PPN1Interleave, machine.PPN8Bind} {
 		res, err := s.run(1, pol, bfs.DefaultOptions())
@@ -107,6 +109,7 @@ func Fig11(s Spec) (*Table, error) {
 			return nil, fmt.Errorf("fig11 %s: %w", pol, err)
 		}
 		bds[i] = res.Breakdown
+		t.Breakdowns[pol.String()] = res.Breakdown
 		t.AddRow(pol.String(),
 			bds[i].Ns[trace.TDComp]/1e6, bds[i].Ns[trace.TDComm]/1e6,
 			bds[i].Ns[trace.BUComp]/1e6, bds[i].Ns[trace.BUComm]/1e6,
@@ -153,6 +156,7 @@ func AlgorithmComparison(s Spec) (*Table, error) {
 		res, err := graph500.Run(graph500.Config{
 			Machine: cfg, Policy: pol, Params: params,
 			Opts: opts, NumRoots: s.Roots, Validate: s.Validate,
+			Obs: s.Obs,
 		})
 		if err != nil {
 			return 0, err

@@ -22,6 +22,9 @@ func LevelProfile(s Spec) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("levels: %w", err)
 	}
+	if s.Obs != nil {
+		r.AttachObs(s.Obs.NewSession(fmt.Sprintf("level profile nodes=%d scale=%d", nodes, scale)))
+	}
 	r.Setup()
 	root := params.Roots(1, r.HasEdgeGlobal)[0]
 	res := r.RunRoot(root)

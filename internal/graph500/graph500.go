@@ -11,6 +11,7 @@ import (
 
 	"numabfs/internal/bfs"
 	"numabfs/internal/machine"
+	"numabfs/internal/obs"
 	"numabfs/internal/rmat"
 	"numabfs/internal/stats"
 	"numabfs/internal/trace"
@@ -27,6 +28,11 @@ type Config struct {
 	Opts     bfs.Options
 	NumRoots int  // 0 means DefaultRoots
 	Validate bool // validate every BFS tree against the spec
+
+	// Obs, when non-nil, records the run into a new labeled session on
+	// the recorder: per-rank span timelines, collective spans, and
+	// communication counters. Tracing never changes results.
+	Obs *obs.Recorder
 }
 
 // Result aggregates a benchmark run.
@@ -52,6 +58,12 @@ func Run(cfg Config) (*Result, error) {
 	runner, err := bfs.NewRunner(cfg.Machine, cfg.Policy, cfg.Params, cfg.Opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil {
+		label := fmt.Sprintf("%s %s g=%d scale=%d nodes=%d",
+			cfg.Policy, cfg.Opts.Opt, cfg.Opts.Granularity,
+			cfg.Params.Scale, cfg.Machine.Nodes)
+		runner.AttachObs(cfg.Obs.NewSession(label))
 	}
 	runner.Setup()
 	roots := cfg.Params.Roots(cfg.NumRoots, runner.HasEdgeGlobal)

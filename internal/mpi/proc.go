@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"numabfs/internal/obs"
+)
 
 // message is an in-flight transfer. ack carries the rendezvous end time
 // back to the sender so both clocks agree.
@@ -32,6 +36,24 @@ type Proc struct {
 	clock     float64 // virtual ns
 	commNs    float64 // cumulative time spent inside Send/Recv/Barrier
 	sentBytes int64   // cumulative bytes sent by this rank
+
+	// obs is the rank's observability stream; nil (the disabled
+	// recorder) unless World.AttachObs was called.
+	obs *obs.Rank
+}
+
+// Obs returns the rank's observability stream. It is nil when tracing
+// is off — a nil *obs.Rank is a valid recorder whose methods no-op, so
+// callers use the result without checking.
+func (p *Proc) Obs() *obs.Rank { return p.obs }
+
+// countMsg charges one outbound transfer to the hop-class counters.
+func (p *Proc) countMsg(dst int, bytes int64) {
+	if p.obs == nil {
+		return
+	}
+	d := p.w.procs[dst]
+	p.obs.CountMsg(obs.ClassifyHop(p.node, p.local, d.node, d.local), bytes)
 }
 
 // Rank returns the global rank.
@@ -83,6 +105,7 @@ func (p *Proc) Send(dst, tag int, bytes int64, payload any, streams int) {
 	p.clock = end
 	p.commNs += end - start
 	p.sentBytes += bytes
+	p.countMsg(dst, bytes)
 }
 
 // post delivers a message to dst's mailbox, failing if the job aborts.
@@ -161,6 +184,7 @@ func (p *Proc) SendRecv(dst, sendTag int, bytes int64, payload any, src, recvTag
 	p.clock = maxf(recvEnd, sendEnd)
 	p.commNs += p.clock - start
 	p.sentBytes += bytes
+	p.countMsg(dst, bytes)
 	return Msg{Src: in.src, Tag: in.tag, Bytes: in.bytes, Payload: in.payload}
 }
 
@@ -178,6 +202,7 @@ func (p *Proc) Barrier() float64 {
 	rounds := ceilLog2(p.w.NumProcs())
 	p.clock = max + float64(rounds)*alpha
 	p.commNs += p.clock - start
+	p.obs.BarrierWait(max - start)
 	return max - start
 }
 
@@ -189,6 +214,7 @@ func (p *Proc) NodeBarrier() float64 {
 	rounds := ceilLog2(p.w.ProcsPerNode())
 	p.clock = max + float64(rounds)*p.w.cfg.IntraNodeAlphaNs
 	p.commNs += p.clock - start
+	p.obs.NodeBarrierWait(max - start)
 	return max - start
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"numabfs/internal/machine"
+	"numabfs/internal/obs"
 	"numabfs/internal/simnet"
 )
 
@@ -43,6 +44,9 @@ type World struct {
 
 	shmMu      sync.Mutex
 	shmRegions map[string][]uint64
+
+	// obsSess is the attached observability session, nil when off.
+	obsSess *obs.Session
 }
 
 // errAborted is the panic value delivered to ranks released by an abort.
@@ -162,8 +166,27 @@ func (w *World) MaxClock() float64 {
 	return m
 }
 
+// AttachObs connects an observability session: every rank gets its own
+// span/counter stream (rank, node, socket). Call before Run — typically
+// right after NewWorld, so construction-phase collectives are recorded
+// too. Recording never advances virtual time, so results are identical
+// with and without a session attached.
+func (w *World) AttachObs(s *obs.Session) {
+	w.obsSess = s
+	for _, p := range w.procs {
+		// local is the rank's socket under the bound placement and the
+		// best available stand-in otherwise.
+		p.obs = s.AddRank(p.rank, p.node, p.local)
+	}
+}
+
 // ResetClocks zeroes every rank's clock and counters (between BFS roots).
 func (w *World) ResetClocks() {
+	if w.obsSess != nil {
+		// Stitch the next run onto the session timeline: everything
+		// recorded so far ends at MaxClock, the next root restarts at 0.
+		w.obsSess.Advance(w.MaxClock())
+	}
 	for _, p := range w.procs {
 		p.clock = 0
 		p.commNs = 0

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateGolden rewrites testdata/chrome_golden.json when the
+// OBS_UPDATE_GOLDEN environment variable is set. Kept as a test so the
+// fixture can be regenerated without a separate generator binary:
+//
+//	OBS_UPDATE_GOLDEN=1 go test ./internal/obs -run TestRegenerateGolden
+func TestRegenerateGolden(t *testing.T) {
+	if os.Getenv("OBS_UPDATE_GOLDEN") == "" {
+		t.Skip("set OBS_UPDATE_GOLDEN=1 to rewrite the golden file")
+	}
+	data, err := syntheticRecorder().ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "chrome_golden.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

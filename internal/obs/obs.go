@@ -1,0 +1,306 @@
+// Package obs is the structured observability layer over the
+// simulator's virtual time. Where internal/trace keeps a six-bucket
+// per-phase accumulator, obs records the raw event stream the paper's
+// profiling methodology (Figs. 11-14) is distilled from: one span per
+// phase of every BFS level on every rank, one span per collective call,
+// and per-rank communication counters (messages and bytes by NUMA hop
+// distance, barrier waits). Exporters turn the stream into a Chrome
+// trace_event file (internal/obs/chrome.go) and an aggregated metrics
+// report with critical-path and stall attribution
+// (internal/obs/report.go).
+//
+// Recording is disabled by default and zero-cost when off: every hook
+// in the hot paths is a method on a possibly-nil *Rank that returns
+// immediately, so a run without an attached Recorder executes exactly
+// the instruction sequence of the untraced simulator and produces
+// bit-identical virtual times. A run with the Recorder attached only
+// reads clocks — it never advances them — so results are identical
+// with tracing on, too.
+//
+// A Recorder holds one Session per simulated world (one benchmark
+// configuration); a Session holds one Rank stream per MPI rank. Because
+// every rank is its own goroutine writing only to its own stream, no
+// locks are needed and recording order is as deterministic as the
+// simulation itself.
+package obs
+
+import "numabfs/internal/trace"
+
+// Hop classifies a point-to-point transfer by the NUMA distance it
+// crosses, the granularity at which Eq. (2)'s data-volume claims are
+// stated: between two ranks of one socket, between sockets of one node
+// (QPI / shared memory), or between nodes (InfiniBand).
+type Hop int
+
+const (
+	HopIntraSocket Hop = iota
+	HopIntraNode
+	HopInterNode
+	NumHops
+)
+
+// String implements fmt.Stringer.
+func (h Hop) String() string {
+	switch h {
+	case HopIntraSocket:
+		return "intra-socket"
+	case HopIntraNode:
+		return "intra-node"
+	case HopInterNode:
+		return "inter-node"
+	default:
+		return "hop-?"
+	}
+}
+
+// ClassifyHop returns the hop class of a transfer from (srcNode,
+// srcSocket) to (dstNode, dstSocket).
+func ClassifyHop(srcNode, srcSocket, dstNode, dstSocket int) Hop {
+	if srcNode != dstNode {
+		return HopInterNode
+	}
+	if srcSocket != dstSocket {
+		return HopIntraNode
+	}
+	return HopIntraSocket
+}
+
+// Span categories.
+const (
+	// CatPhase marks spans charged to a trace.Phase bucket; summing them
+	// reproduces the trace.Breakdown accumulators.
+	CatPhase = "phase"
+	// CatCollective marks one collective call (allgather, alltoallv,
+	// allreduce, ...). Collective spans nest inside phase spans.
+	CatCollective = "collective"
+	// CatLevel marks one whole BFS level on one rank; phase spans nest
+	// inside it. The critical-path walk is built on these.
+	CatLevel = "level"
+)
+
+// Span is one recorded interval of a rank's virtual timeline. Start and
+// End are session-timeline nanoseconds: consecutive BFS roots (whose
+// rank clocks each restart at zero) are laid end to end by the session
+// epoch, so a whole benchmark reads as one continuous timeline.
+type Span struct {
+	Name  string
+	Cat   string
+	Level int // BFS level for phase/level spans, -1 otherwise
+	Start float64
+	End   float64
+}
+
+// Comm accumulates one rank's communication counters.
+type Comm struct {
+	// Msgs and Bytes count sender-side point-to-point transfers by hop
+	// class (each message is counted once, at its sender).
+	Msgs  [NumHops]int64
+	Bytes [NumHops]int64
+	// Barriers counts global barrier entries; BarrierWaitNs sums the
+	// rank's wait (arrival to last arrival) and BarrierWaits keeps the
+	// individual samples for percentile reporting.
+	Barriers      int64
+	BarrierWaitNs float64
+	BarrierWaits  []float64
+	// NodeBarriers / NodeBarrierWaitNs are the node-scoped equivalents
+	// (shared-memory epochs).
+	NodeBarriers      int64
+	NodeBarrierWaitNs float64
+	// Collectives counts collective calls by name.
+	Collectives map[string]int64
+}
+
+// merge adds o's counters into c (BarrierWaits samples included).
+func (c *Comm) merge(o *Comm) {
+	for h := Hop(0); h < NumHops; h++ {
+		c.Msgs[h] += o.Msgs[h]
+		c.Bytes[h] += o.Bytes[h]
+	}
+	c.Barriers += o.Barriers
+	c.BarrierWaitNs += o.BarrierWaitNs
+	c.BarrierWaits = append(c.BarrierWaits, o.BarrierWaits...)
+	c.NodeBarriers += o.NodeBarriers
+	c.NodeBarrierWaitNs += o.NodeBarrierWaitNs
+	for name, n := range o.Collectives {
+		if c.Collectives == nil {
+			c.Collectives = make(map[string]int64)
+		}
+		c.Collectives[name] += n
+	}
+}
+
+// Recorder collects observability sessions. The zero Recorder is ready
+// to use; a nil *Recorder means observability is off.
+type Recorder struct {
+	sessions []*Session
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewSession opens a new session (one simulated world / benchmark
+// configuration) under the given human-readable label.
+func (r *Recorder) NewSession(label string) *Session {
+	s := &Session{Label: label}
+	r.sessions = append(r.sessions, s)
+	return s
+}
+
+// Sessions returns the recorder's sessions in creation order.
+func (r *Recorder) Sessions() []*Session { return r.sessions }
+
+// Session is the event stream of one simulated world. Rank streams are
+// appended by the world on attach; Advance stitches the per-root clock
+// resets into one continuous timeline.
+type Session struct {
+	Label string
+
+	ranks []*Rank
+	// epoch is the session-timeline offset added to raw rank clocks:
+	// the sum of all virtual durations that already elapsed before the
+	// current World run (setup, earlier roots).
+	epoch float64
+	// marks are the segment boundaries Advance recorded (end of setup,
+	// end of each root), for grouping spans by BFS iteration.
+	marks []float64
+}
+
+// AddRank appends a rank stream with its placement coordinates and
+// returns it.
+func (s *Session) AddRank(rank, node, socket int) *Rank {
+	r := &Rank{sess: s, ID: rank, Node: node, Socket: socket}
+	s.ranks = append(s.ranks, r)
+	return r
+}
+
+// Ranks returns the session's rank streams in rank order.
+func (s *Session) Ranks() []*Rank { return s.ranks }
+
+// Advance shifts the session timeline by d virtual ns and records a
+// segment boundary. The simulated world calls it with its maximum clock
+// whenever rank clocks are about to be reset (between BFS roots), so
+// span timestamps from consecutive roots do not overlap.
+func (s *Session) Advance(d float64) {
+	if d <= 0 {
+		return
+	}
+	s.epoch += d
+	s.marks = append(s.marks, s.epoch)
+}
+
+// Marks returns the recorded segment boundaries (ascending).
+func (s *Session) Marks() []float64 { return s.marks }
+
+// segment returns the index of the segment a session-timeline instant
+// belongs to: 0 before the first mark, i after mark i-1.
+func (s *Session) segment(t float64) int {
+	lo, hi := 0, len(s.marks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.marks[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Rank records one simulated rank's spans and counters. All methods are
+// safe on a nil receiver and no-op, so call sites need no enabled-check:
+// a nil *Rank IS the disabled recorder.
+type Rank struct {
+	sess   *Session
+	ID     int
+	Node   int
+	Socket int
+
+	spans []Span
+	comm  Comm
+}
+
+// Spans returns the rank's recorded spans in record order.
+func (r *Rank) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Comm returns the rank's communication counters.
+func (r *Rank) Comm() *Comm {
+	if r == nil {
+		return nil
+	}
+	return &r.comm
+}
+
+// span appends a span on the session timeline.
+func (r *Rank) span(name, cat string, level int, start, end float64) {
+	e := r.sess.epoch
+	r.spans = append(r.spans, Span{
+		Name: name, Cat: cat, Level: level,
+		Start: e + start, End: e + end,
+	})
+}
+
+// PhaseSpan records one interval charged to phase p at the given BFS
+// level; start and end are raw rank-clock ns.
+func (r *Rank) PhaseSpan(p trace.Phase, level int, start, end float64) {
+	if r == nil {
+		return
+	}
+	r.span(p.String(), CatPhase, level, start, end)
+}
+
+// LevelSpan records one whole BFS level (all phases).
+func (r *Rank) LevelSpan(bottomUp bool, level int, start, end float64) {
+	if r == nil {
+		return
+	}
+	name := "td level"
+	if bottomUp {
+		name = "bu level"
+	}
+	r.span(name, CatLevel, level, start, end)
+}
+
+// Collective records one collective call and counts it by name.
+func (r *Rank) Collective(name string, start, end float64) {
+	if r == nil {
+		return
+	}
+	r.span(name, CatCollective, -1, start, end)
+	if r.comm.Collectives == nil {
+		r.comm.Collectives = make(map[string]int64)
+	}
+	r.comm.Collectives[name]++
+}
+
+// CountMsg counts one sender-side point-to-point transfer.
+func (r *Rank) CountMsg(h Hop, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.comm.Msgs[h]++
+	r.comm.Bytes[h] += bytes
+}
+
+// BarrierWait records one global-barrier wait sample.
+func (r *Rank) BarrierWait(ns float64) {
+	if r == nil {
+		return
+	}
+	r.comm.Barriers++
+	r.comm.BarrierWaitNs += ns
+	r.comm.BarrierWaits = append(r.comm.BarrierWaits, ns)
+}
+
+// NodeBarrierWait records one node-barrier wait.
+func (r *Rank) NodeBarrierWait(ns float64) {
+	if r == nil {
+		return
+	}
+	r.comm.NodeBarriers++
+	r.comm.NodeBarrierWaitNs += ns
+}

@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"numabfs/internal/stats"
+	"numabfs/internal/trace"
+)
+
+// Report is the aggregated metrics view of a recording: per-phase
+// totals (the Fig. 11 breakdown, recomputed from the span stream rather
+// than hand-maintained accumulators), communication counters by hop
+// class, barrier-wait percentiles, and a per-level critical-path table
+// naming the rank and phase that bounded each level.
+type Report struct {
+	Sessions []SessionReport `json:"sessions"`
+}
+
+// SessionReport aggregates one session (one benchmark configuration).
+type SessionReport struct {
+	Label string `json:"label"`
+	Ranks int    `json:"ranks"`
+
+	// PhaseNs maps phase name -> mean-across-ranks total virtual ns,
+	// summed over every BFS root the session ran. Dividing by the root
+	// count reproduces trace.Breakdown (within float rounding).
+	PhaseNs map[string]float64 `json:"phase_ns"`
+	// TotalNs is the summed PhaseNs.
+	TotalNs float64 `json:"total_ns"`
+
+	// Msgs / Bytes are sender-side point-to-point totals over all
+	// ranks, by hop class ("intra-socket", "intra-node", "inter-node").
+	Msgs  map[string]int64 `json:"msgs"`
+	Bytes map[string]int64 `json:"bytes"`
+	// Collectives counts collective calls by algorithm over all ranks.
+	Collectives map[string]int64 `json:"collective_calls,omitempty"`
+
+	// Barrier wait distribution over every (rank, global barrier) pair.
+	BarrierCount  int64   `json:"barrier_count"`
+	BarrierP50Ns  float64 `json:"barrier_p50_ns"`
+	BarrierP95Ns  float64 `json:"barrier_p95_ns"`
+	BarrierMaxNs  float64 `json:"barrier_max_ns"`
+	BarrierMeanNs float64 `json:"barrier_mean_ns"`
+
+	// StallNsByRank is each rank's total stall-phase time: the
+	// per-rank load-imbalance attribution of Fig. 11.
+	StallNsByRank []float64 `json:"stall_ns_by_rank"`
+
+	// Levels is the critical-path table, aggregated across roots by
+	// level index.
+	Levels []LevelReport `json:"levels,omitempty"`
+}
+
+// LevelReport aggregates every instance of one BFS level index (one
+// instance per root) into a critical-path row.
+type LevelReport struct {
+	Level     int    `json:"level"`
+	Name      string `json:"name"` // "td level" or "bu level"
+	Instances int    `json:"instances"`
+	// MeanNs is the mean wall duration of the level (first span start
+	// to last span end across ranks).
+	MeanNs float64 `json:"mean_ns"`
+	// BoundRank is the rank that most often finished the level last —
+	// the critical path runs through it.
+	BoundRank int `json:"bound_rank"`
+	// BoundPhase is that rank's dominant phase in the level.
+	BoundPhase string `json:"bound_phase"`
+	// MeanStallNs is the mean (per instance) stall summed over ranks.
+	MeanStallNs float64 `json:"mean_stall_ns"`
+}
+
+// levelInstance is one (root, level) occurrence during aggregation.
+type levelInstance struct {
+	name      string
+	start     float64
+	end       float64
+	boundRank int
+	boundEnd  float64
+	stallNs   float64
+}
+
+// BuildReport aggregates the recorder's raw streams.
+func (r *Recorder) BuildReport() *Report {
+	rep := &Report{}
+	for _, s := range r.Sessions() {
+		rep.Sessions = append(rep.Sessions, buildSessionReport(s))
+	}
+	return rep
+}
+
+func buildSessionReport(s *Session) SessionReport {
+	sr := SessionReport{
+		Label:   s.Label,
+		Ranks:   len(s.ranks),
+		PhaseNs: make(map[string]float64),
+		Msgs:    make(map[string]int64),
+		Bytes:   make(map[string]int64),
+	}
+
+	var comm Comm
+	instances := make(map[[2]int]*levelInstance) // (segment, level) -> instance
+	sr.StallNsByRank = make([]float64, len(s.ranks))
+
+	for _, rk := range s.ranks {
+		comm.merge(&rk.comm)
+		for _, sp := range rk.spans {
+			switch sp.Cat {
+			case CatPhase:
+				sr.PhaseNs[sp.Name] += sp.End - sp.Start
+				if sp.Name == trace.Stall.String() {
+					sr.StallNsByRank[rk.ID] += sp.End - sp.Start
+				}
+			case CatLevel:
+				key := [2]int{s.segment(sp.Start), sp.Level}
+				li := instances[key]
+				if li == nil {
+					li = &levelInstance{
+						name: sp.Name, start: sp.Start, end: sp.End,
+						boundRank: rk.ID, boundEnd: sp.End,
+					}
+					instances[key] = li
+				} else {
+					if sp.Start < li.start {
+						li.start = sp.Start
+					}
+					if sp.End > li.end {
+						li.end = sp.End
+					}
+					// Strictly-later end wins, so ties go to the
+					// lowest rank (ranks are visited in order).
+					if sp.End > li.boundEnd {
+						li.boundEnd = sp.End
+						li.boundRank = rk.ID
+					}
+				}
+			}
+		}
+	}
+	// Mean across ranks.
+	if n := float64(len(s.ranks)); n > 0 {
+		for name := range sr.PhaseNs {
+			sr.PhaseNs[name] /= n
+		}
+	}
+	for _, v := range sr.PhaseNs {
+		sr.TotalNs += v
+	}
+
+	for h := Hop(0); h < NumHops; h++ {
+		sr.Msgs[h.String()] = comm.Msgs[h]
+		sr.Bytes[h.String()] = comm.Bytes[h]
+	}
+	sr.Collectives = comm.Collectives
+	sr.BarrierCount = comm.Barriers
+	if comm.Barriers > 0 {
+		sr.BarrierP50Ns = stats.Percentile(comm.BarrierWaits, 50)
+		sr.BarrierP95Ns = stats.Percentile(comm.BarrierWaits, 95)
+		sr.BarrierMaxNs = stats.Max(comm.BarrierWaits)
+		sr.BarrierMeanNs = comm.BarrierWaitNs / float64(comm.Barriers)
+	}
+
+	attributeLevels(s, &sr, instances)
+	return sr
+}
+
+// attributeLevels fills each instance's stall sum and bounding phase,
+// then folds the instances into per-level-index rows.
+func attributeLevels(s *Session, sr *SessionReport, instances map[[2]int]*levelInstance) {
+	if len(instances) == 0 {
+		return
+	}
+	// Second pass over phase spans: stall per instance, and the
+	// bounding rank's dominant phase.
+	boundPhase := make(map[[2]int]map[string]float64)
+	for _, rk := range s.ranks {
+		for _, sp := range rk.spans {
+			if sp.Cat != CatPhase {
+				continue
+			}
+			key := [2]int{s.segment(sp.Start), sp.Level}
+			li := instances[key]
+			if li == nil {
+				continue
+			}
+			if sp.Name == trace.Stall.String() {
+				li.stallNs += sp.End - sp.Start
+			}
+			if rk.ID == li.boundRank && sp.Name != trace.Stall.String() {
+				m := boundPhase[key]
+				if m == nil {
+					m = make(map[string]float64)
+					boundPhase[key] = m
+				}
+				m[sp.Name] += sp.End - sp.Start
+			}
+		}
+	}
+
+	// Fold instances by level index.
+	type agg struct {
+		LevelReport
+		sumNs      float64
+		sumStall   float64
+		rankVotes  map[int]int
+		phaseVotes map[string]float64
+	}
+	byLevel := make(map[int]*agg)
+	for key, li := range instances {
+		level := key[1]
+		a := byLevel[level]
+		if a == nil {
+			a = &agg{
+				LevelReport: LevelReport{Level: level, Name: li.name},
+				rankVotes:   make(map[int]int),
+				phaseVotes:  make(map[string]float64),
+			}
+			byLevel[level] = a
+		}
+		a.Instances++
+		a.sumNs += li.end - li.start
+		a.sumStall += li.stallNs
+		a.rankVotes[li.boundRank]++
+		for name, ns := range boundPhase[key] {
+			a.phaseVotes[name] += ns
+		}
+	}
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		a := byLevel[l]
+		a.MeanNs = a.sumNs / float64(a.Instances)
+		a.MeanStallNs = a.sumStall / float64(a.Instances)
+		a.BoundRank = topRank(a.rankVotes)
+		a.BoundPhase = topPhase(a.phaseVotes)
+		sr.Levels = append(sr.Levels, a.LevelReport)
+	}
+}
+
+// topRank returns the most-voted rank (ties to the lowest rank).
+func topRank(votes map[int]int) int {
+	best, bestVotes := -1, -1
+	for r, v := range votes {
+		if v > bestVotes || (v == bestVotes && r < best) {
+			best, bestVotes = r, v
+		}
+	}
+	return best
+}
+
+// topPhase returns the phase with the most accumulated time (ties to
+// the lexicographically smallest name, for determinism).
+func topPhase(votes map[string]float64) string {
+	best, bestNs := "", -1.0
+	for name, ns := range votes {
+		if ns > bestNs || (ns == bestNs && name < best) {
+			best, bestNs = name, ns
+		}
+	}
+	return best
+}
+
+// String renders the report as aligned text.
+func (r *Report) String() string {
+	var b strings.Builder
+	for i := range r.Sessions {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		r.Sessions[i].render(&b)
+	}
+	return b.String()
+}
+
+func (sr *SessionReport) render(b *strings.Builder) {
+	fmt.Fprintf(b, "== %s (%d ranks) ==\n", sr.Label, sr.Ranks)
+
+	fmt.Fprintf(b, "phases (mean/rank):")
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		fmt.Fprintf(b, "  %s=%.2fms", p, sr.PhaseNs[p.String()]/1e6)
+	}
+	fmt.Fprintf(b, "  total=%.2fms\n", sr.TotalNs/1e6)
+
+	fmt.Fprintf(b, "p2p traffic:")
+	for h := Hop(0); h < NumHops; h++ {
+		fmt.Fprintf(b, "  %s %d msgs / %.2f MiB", h, sr.Msgs[h.String()],
+			float64(sr.Bytes[h.String()])/(1<<20))
+	}
+	b.WriteByte('\n')
+
+	if len(sr.Collectives) > 0 {
+		names := make([]string, 0, len(sr.Collectives))
+		for name := range sr.Collectives {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(b, "collectives:")
+		for _, name := range names {
+			fmt.Fprintf(b, "  %s=%d", name, sr.Collectives[name])
+		}
+		b.WriteByte('\n')
+	}
+
+	if sr.BarrierCount > 0 {
+		fmt.Fprintf(b, "barrier wait: n=%d  p50=%.3fms  p95=%.3fms  max=%.3fms  mean=%.3fms\n",
+			sr.BarrierCount, sr.BarrierP50Ns/1e6, sr.BarrierP95Ns/1e6,
+			sr.BarrierMaxNs/1e6, sr.BarrierMeanNs/1e6)
+	}
+
+	if n := len(sr.StallNsByRank); n > 0 {
+		worst, worstNs := 0, sr.StallNsByRank[0]
+		for rk, ns := range sr.StallNsByRank {
+			if ns > worstNs {
+				worst, worstNs = rk, ns
+			}
+		}
+		fmt.Fprintf(b, "stall: mean/rank=%.2fms  worst rank %d=%.2fms\n",
+			stats.Mean(sr.StallNsByRank)/1e6, worst, worstNs/1e6)
+	}
+
+	if len(sr.Levels) > 0 {
+		fmt.Fprintf(b, "critical path by level (mean over %d roots):\n", sr.Levels[0].Instances)
+		fmt.Fprintf(b, "  %5s %-9s %10s %12s %12s %12s\n",
+			"level", "procedure", "mean ms", "bound rank", "bound phase", "stall ms")
+		for _, l := range sr.Levels {
+			fmt.Fprintf(b, "  %5d %-9s %10.4f %12d %12s %12.4f\n",
+				l.Level, l.Name, l.MeanNs/1e6, l.BoundRank, l.BoundPhase, l.MeanStallNs/1e6)
+		}
+	}
+}

@@ -53,7 +53,9 @@ func Stddev(xs []float64) float64 {
 	return math.Sqrt(ss / float64(len(xs)-1))
 }
 
-// Min returns the minimum of xs, or +Inf for an empty slice.
+// Min returns the minimum of xs. NOTE: for an empty slice it returns
+// +Inf (the identity of min), not 0 — callers that can see empty inputs
+// must guard before formatting or comparing the result.
 func Min(xs []float64) float64 {
 	m := math.Inf(1)
 	for _, x := range xs {
@@ -97,6 +99,14 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs, the
+// convention metrics reports use (p50/p95/max barrier wait). It is
+// Quantile at q = p/100: linear interpolation between order statistics,
+// 0 for an empty slice; p is clamped to [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	return Quantile(xs, p/100)
 }
 
 // Sum returns the sum of xs.

@@ -87,3 +87,41 @@ func TestQuantile(t *testing.T) {
 		t.Fatalf("input mutated: %v", in)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Fatalf("p50 = %g", got)
+	}
+	// Linear interpolation between order statistics: p25 sits a quarter
+	// of the way through the four gaps, i.e. at x[1].
+	if got := Percentile(xs, 25); !almost(got, 20) {
+		t.Fatalf("p25 = %g", got)
+	}
+	if got := Percentile(xs, 90); !almost(got, 46) {
+		t.Fatalf("p90 = %g", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty: %g", got)
+	}
+	// Out-of-range p clamps rather than panicking.
+	if Percentile(xs, -10) != 15 || Percentile(xs, 200) != 50 {
+		t.Fatal("clamping")
+	}
+}
+
+func TestMinEmptyIsInf(t *testing.T) {
+	// Documented contract: Min of nothing is the identity of min.
+	if got := Min(nil); !math.IsInf(got, 1) {
+		t.Fatalf("Min(nil) = %g, want +Inf", got)
+	}
+	if got := Max(nil); !math.IsInf(got, -1) {
+		t.Fatalf("Max(nil) = %g, want -Inf", got)
+	}
+}

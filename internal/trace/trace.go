@@ -6,6 +6,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -113,6 +114,31 @@ func (b *Breakdown) Scale(f float64) {
 	for i := range b.Ns {
 		b.Ns[i] *= f
 	}
+}
+
+// MarshalJSON renders the breakdown with one named field per phase
+// (rather than a bare Ns array indexed by Phase ordinal, which no JSON
+// consumer could read), so tables that carry breakdowns — bfsbench
+// -json — stay self-describing.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		TDCompNs    float64 `json:"td_comp_ns"`
+		TDCommNs    float64 `json:"td_comm_ns"`
+		BUCompNs    float64 `json:"bu_comp_ns"`
+		BUCommNs    float64 `json:"bu_comm_ns"`
+		SwitchNs    float64 `json:"switch_ns"`
+		StallNs     float64 `json:"stall_ns"`
+		TotalNs     float64 `json:"total_ns"`
+		TDLevels    int     `json:"td_levels"`
+		BULevels    int     `json:"bu_levels"`
+		BUCommCount int     `json:"bu_comm_count"`
+	}{
+		TDCompNs: b.Ns[TDComp], TDCommNs: b.Ns[TDComm],
+		BUCompNs: b.Ns[BUComp], BUCommNs: b.Ns[BUComm],
+		SwitchNs: b.Ns[Switch], StallNs: b.Ns[Stall],
+		TotalNs:  b.Total(),
+		TDLevels: b.TDLevels, BULevels: b.BULevels, BUCommCount: b.BUCommCount,
+	})
 }
 
 // String renders a one-line ms breakdown.

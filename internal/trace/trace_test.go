@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -69,5 +70,44 @@ func TestPhaseStrings(t *testing.T) {
 	b.Add(BUComp, 2e6)
 	if !strings.Contains(b.String(), "bu-comp=2.00ms") {
 		t.Errorf("Breakdown.String() = %q", b.String())
+	}
+}
+
+func TestBreakdownMarshalJSON(t *testing.T) {
+	var b Breakdown
+	b.Add(TDComp, 10)
+	b.Add(BUComm, 40)
+	b.Add(Stall, 5)
+	b.TDLevels = 2
+	b.BULevels = 3
+	b.BUCommCount = 3
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"td_comp_ns": 10, "td_comm_ns": 0, "bu_comp_ns": 0, "bu_comm_ns": 40,
+		"switch_ns": 0, "stall_ns": 5, "total_ns": 55,
+		"td_levels": 2, "bu_levels": 3, "bu_comm_count": 3,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("fields = %v, want %v", m, want)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %g, want %g", k, m[k], v)
+		}
+	}
+	// A pointer marshals the same way (the method has a value receiver).
+	pdata, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pdata) != string(data) {
+		t.Fatalf("pointer marshal differs: %s vs %s", pdata, data)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"numabfs/internal/bfs2d"
 	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
+	"numabfs/internal/obs"
 	"numabfs/internal/rmat"
 )
 
@@ -139,6 +140,16 @@ func NewRunner(cfg ClusterConfig, policy Policy, params GraphParams, opts Option
 // Validate checks the BFS tree a runner's last RunRoot left behind
 // against the Graph500 specification.
 func Validate(r *Runner, root int64) error { return graph500.ValidateRun(r, root) }
+
+// Recorder collects observability sessions: per-rank span timelines over
+// virtual time, collective spans, and communication counters. Attach one
+// to a Benchmark via its Obs field (or to a Runner with AttachObs), then
+// export a Chrome trace with WriteChromeTraceFile or aggregate a metrics
+// report with BuildReport. Recording never changes benchmark results.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // Grid is a 2-D processor grid (rows x columns).
 type Grid = bfs2d.Grid
