@@ -57,7 +57,9 @@ func BenchmarkFig15WeakScaling(b *testing.B)     { runFigure(b, experiments.Fig1
 func BenchmarkFig16Granularity(b *testing.B)     { runFigure(b, experiments.Fig16) }
 func BenchmarkAlgorithmComparison(b *testing.B)  { runFigure(b, experiments.AlgorithmComparison) }
 func BenchmarkExt2DPartitioning(b *testing.B)    { runFigure(b, experiments.Ext2D) }
+func BenchmarkExtCompression(b *testing.B)       { runFigure(b, experiments.ExtCompression) }
 func BenchmarkAblationAllgather(b *testing.B)    { runFigure(b, experiments.AblationAllgather) }
+func BenchmarkAblationCompression(b *testing.B)  { runFigure(b, experiments.AblationCompression) }
 func BenchmarkAblationHybrid(b *testing.B)       { runFigure(b, experiments.AblationHybrid) }
 
 // BenchmarkBFS2DRoot measures one 2-D partitioned BFS iteration.
@@ -137,6 +139,25 @@ func BenchmarkBitmapCheck(b *testing.B) {
 	_ = hits
 }
 
+// BenchmarkBitmapAppendSetBits measures frontier extraction — the
+// bottom-up -> top-down switch scans the owned in_queue segment into the
+// vertex queue. With reused scratch this is allocation-free.
+func BenchmarkBitmapAppendSetBits(b *testing.B) {
+	const n = 1 << 20
+	bm := bitmap.New(n)
+	for i := int64(0); i < n; i += 97 {
+		bm.Set(i)
+	}
+	queue := make([]int64, 0, n/97+1)
+	b.SetBytes(n / 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queue = bm.AppendSetBits(queue[:0], 0, n)
+	}
+	_ = queue
+}
+
 // BenchmarkSummaryRebuild measures the per-level summary reconstruction.
 func BenchmarkSummaryRebuild(b *testing.B) {
 	const n = 1 << 20
@@ -159,6 +180,7 @@ func BenchmarkAllgatherRing(b *testing.B) {
 	cfg.WeakNode = -1
 	pl := machine.PlacementFor(cfg, machine.PPN8Bind)
 	const words = 1 << 14
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w := mpi.NewWorld(cfg, pl)
 		g := collective.WorldGroup(w)

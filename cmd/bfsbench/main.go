@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"numabfs/internal/experiments"
 	"numabfs/internal/machine"
@@ -44,9 +46,32 @@ var drivers = []driver{
 	{"algcmp", experiments.AlgorithmComparison},
 	{"levels", experiments.LevelProfile},
 	{"2d", experiments.Ext2D},
+	{"compression", experiments.ExtCompression},
 	{"abl-allgather", experiments.AblationAllgather},
+	{"abl-compression", experiments.AblationCompression},
 	{"abl-hybrid", experiments.AblationHybrid},
 	{"abl-sharedegree", experiments.AblationShareDegree},
+}
+
+// benchRecord is one experiment's entry in a -bench-json file: the
+// driver key, the host wall-clock it took, and the full table so byte
+// and TEPS columns can be diffed between commits.
+type benchRecord struct {
+	Fig    string             `json:"fig"`
+	HostNs int64              `json:"host_ns"`
+	Table  *experiments.Table `json:"table"`
+}
+
+// benchFile is the regression-baseline format written by -bench-json.
+// Comparing a fresh file against a committed BENCH_<date>.json shows
+// host-time drift (harness regressions) and any change in the modelled
+// tables (simulation regressions).
+type benchFile struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	Scale     int           `json:"scale"`
+	Roots     int           `json:"roots"`
+	Records   []benchRecord `json:"records"`
 }
 
 // figKeys returns every valid -fig value, including the special keys
@@ -76,7 +101,7 @@ func unknownFigs(want []string) []string {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,abl-allgather,abl-hybrid,all")
+	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,compression,abl-allgather,abl-compression,abl-hybrid,all")
 	scale := flag.Int("scale", 16, "graph scale at one node (weak scaling adds log2(nodes))")
 	roots := flag.Int("roots", 8, "BFS roots per configuration (Graph500 uses 64)")
 	validate := flag.Bool("validate", false, "validate every BFS tree (slow)")
@@ -84,6 +109,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in chrome://tracing or Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the aggregated observability report (per-phase time, message counts by hop, barrier waits, critical path)")
+	benchJSON := flag.String("bench-json", "", "time each selected experiment and write a regression baseline (BENCH_<date>.json) to this file")
 	flag.Parse()
 
 	want := strings.Split(*fig, ",")
@@ -122,10 +148,12 @@ func main() {
 		fmt.Println()
 	}
 	var tables []*experiments.Table
+	var records []benchRecord
 	for _, d := range drivers {
 		if !match(d.key) {
 			continue
 		}
+		start := time.Now()
 		t, err := d.run(spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfsbench: fig %s: %v\n", d.key, err)
@@ -133,6 +161,9 @@ func main() {
 		}
 		fmt.Println(t.String())
 		tables = append(tables, t)
+		if *benchJSON != "" {
+			records = append(records, benchRecord{Fig: d.key, HostNs: time.Since(start).Nanoseconds(), Table: t})
+		}
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")
@@ -144,6 +175,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *benchJSON != "" {
+		bf := benchFile{
+			Date:      time.Now().Format("2006-01-02"),
+			GoVersion: runtime.Version(),
+			Scale:     *scale,
+			Roots:     *roots,
+			Records:   records,
+		}
+		data, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bfsbench: wrote bench baseline to %s\n", *benchJSON)
 	}
 	if *metrics {
 		fmt.Print(spec.Obs.BuildReport().String())

@@ -55,7 +55,7 @@ func TestBFSMatchesReferenceAcrossVariants(t *testing.T) {
 	roots := params.Roots(3, ref.HasEdge)
 
 	for _, mode := range []Mode{ModeHybrid, ModeTopDown, ModeBottomUp} {
-		for _, opt := range []Opt{OptOriginal, OptShareInQueue, OptShareAll, OptParAllgather} {
+		for _, opt := range []Opt{OptOriginal, OptShareInQueue, OptShareAll, OptParAllgather, OptCompressedAllgather} {
 			for _, pol := range []machine.Policy{machine.PPN8Bind, machine.PPN1Interleave} {
 				name := fmt.Sprintf("%s/%s/%s", mode, opt, pol)
 				t.Run(name, func(t *testing.T) {

@@ -1,8 +1,6 @@
 package bfs
 
 import (
-	"math/bits"
-
 	"numabfs/internal/machine"
 	"numabfs/internal/mpi"
 	"numabfs/internal/trace"
@@ -138,19 +136,8 @@ func (rs *rankState) switchToBottomUp(p *mpi.Proc) {
 func (rs *rankState) switchToTopDown(p *mpi.Proc) {
 	r := rs.r
 	t0 := p.Clock()
-	rs.queue = rs.queue[:0]
 	lo, hi := r.Part.Range(p.Rank())
-	words := rs.inQ.Words()
-	for w := lo / 64; w < (hi+63)/64; w++ {
-		wb := words[w]
-		for wb != 0 {
-			v := w*64 + int64(bits.TrailingZeros64(wb))
-			if v < hi {
-				rs.queue = append(rs.queue, v)
-			}
-			wb &= wb - 1
-		}
-	}
+	rs.queue = rs.inQ.AppendSetBits(rs.queue[:0], lo, hi)
 	load := machine.PhaseLoad{
 		SeqBytes: (hi - lo) / 8,
 		SeqLoc:   r.inqLoc(),

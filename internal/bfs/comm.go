@@ -40,6 +40,12 @@ func (rs *rankState) allgatherInQueue(p *mpi.Proc) {
 		// Per-socket subgroups allgather concurrently into the shared
 		// in_queue; each rank contributes its own (shared) out segment.
 		r.NC.ParallelAllgather(p, rs.inQ.Words(), ownOut, r.wordLayout)
+
+	case OptCompressedAllgather:
+		// Parallelized allgather with each subgroup segment travelling
+		// in the codec's adaptive wire format (sparse at low frontier
+		// density, RLE/dense near saturation).
+		r.NC.ParallelAllgatherCompressed(p, rs.inQ.Words(), ownOut, r.wordLayout, rs.inqCodec)
 	}
 }
 
@@ -79,5 +85,9 @@ func (rs *rankState) allgatherSummary(p *mpi.Proc) {
 		r.NC.SharedInPlaceAllgather(p, sumWords, r.sumLayout)
 	case OptParAllgather:
 		r.NC.ParallelAllgatherInPlace(p, sumWords, r.sumLayout)
+	case OptCompressedAllgather:
+		// The summary is orders of magnitude smaller than in_queue, but
+		// it is also far sparser early on — the same codec pays off.
+		r.NC.ParallelAllgatherInPlaceCompressed(p, sumWords, r.sumLayout, rs.sumCodec)
 	}
 }

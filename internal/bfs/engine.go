@@ -12,6 +12,7 @@ import (
 	"numabfs/internal/omp"
 	"numabfs/internal/rmat"
 	"numabfs/internal/trace"
+	"numabfs/internal/wire"
 )
 
 // Runner owns one simulated BFS job: the world of ranks, the partitioned
@@ -59,6 +60,14 @@ type rankState struct {
 	inSum *bitmap.Summary // summary of inQ
 
 	sumSeg []uint64 // staging for this rank's summary share (Par variant)
+
+	// inqCodec/sumCodec are the rank's wire codecs for the compressed
+	// allgather level (nil below OptCompressedAllgather). One codec per
+	// collective purpose: each holds its own encode scratch, and a
+	// payload aliases that scratch until the ring completes — separate
+	// codecs keep the in_queue and summary rings independent.
+	inqCodec *wire.Codec
+	sumCodec *wire.Codec
 
 	queue, next []int64   // top-down frontier queues (owned vertices)
 	send        [][]int64 // top-down owner-routing buffers
@@ -184,6 +193,18 @@ func (r *Runner) Setup() {
 		}
 		rs.sumSeg = make([]uint64, r.sumLayout.Counts[rank])
 		rs.send = make([][]int64, r.W.NumProcs())
+		if opt >= OptCompressedAllgather {
+			rs.inqCodec = &wire.Codec{
+				Team: rs.team, Loc: r.inqLoc(),
+				Force:            r.Opts.WireFormat,
+				SparseMaxDensity: r.Opts.WireSparseDensity,
+			}
+			rs.sumCodec = &wire.Codec{
+				Team: rs.team, Loc: r.sumLoc(),
+				Force:            r.Opts.WireFormat,
+				SparseMaxDensity: r.Opts.WireSparseDensity,
+			}
+		}
 		r.states[rank] = rs
 	})
 	r.SetupNs = r.W.MaxClock()
@@ -249,8 +270,18 @@ type RootResult struct {
 	// frontier values are allreduced and identical everywhere).
 	LevelStats []trace.LevelStat
 	// CommBytes is the exact total network volume (intra- plus
-	// inter-node MPI bytes) of the iteration.
+	// inter-node MPI bytes) of the iteration. Under
+	// OptCompressedAllgather these are wire bytes — what actually
+	// crossed the network after encoding.
 	CommBytes int64
+	// RawCommBytes is the logical (pre-compression) volume; it equals
+	// CommBytes except under OptCompressedAllgather, where the gap is
+	// the compression saving.
+	RawCommBytes int64
+	// Wire aggregates every rank's codec decisions for the iteration
+	// (segments per format, raw vs wire bytes); zero below
+	// OptCompressedAllgather.
+	Wire wire.Stats
 }
 
 // RunRoot runs one BFS from root and returns its result. Rank clocks are
@@ -260,6 +291,12 @@ func (r *Runner) RunRoot(root int64) RootResult {
 		panic("bfs: RunRoot before Setup")
 	}
 	r.W.ResetClocks()
+	for _, rs := range r.states {
+		if rs.inqCodec != nil {
+			rs.inqCodec.ResetStats()
+			rs.sumCodec.ResetStats()
+		}
+	}
 	r.W.Run(func(p *mpi.Proc) {
 		r.states[p.Rank()].runBFS(p, root)
 	})
@@ -282,6 +319,13 @@ func (r *Runner) RunRoot(root int64) RootResult {
 	res.LevelStats = append([]trace.LevelStat(nil), r.states[0].levelStats...)
 	vol := r.W.Net().Volume()
 	res.CommBytes = vol.IntraBytes + vol.InterBytes
+	res.RawCommBytes = vol.RawIntraBytes + vol.RawInterBytes
+	for _, rs := range r.states {
+		if rs.inqCodec != nil {
+			res.Wire.Add(rs.inqCodec.Stats())
+			res.Wire.Add(rs.sumCodec.Stats())
+		}
+	}
 	if res.TimeNs > 0 {
 		res.TEPS = float64(res.TraversedEdges) / (res.TimeNs / 1e9)
 	}

@@ -19,7 +19,11 @@
 // process placement policy (Fig. 10) are orthogonal options.
 package bfs
 
-import "fmt"
+import (
+	"fmt"
+
+	"numabfs/internal/wire"
+)
 
 // Opt is an optimization level, cumulative in the order of Fig. 9.
 type Opt int
@@ -33,6 +37,12 @@ const (
 	OptShareAll
 	// OptParAllgather additionally parallelizes the inter-node allgather.
 	OptParAllgather
+	// OptCompressedAllgather additionally sends each allgather segment in
+	// an adaptively chosen wire format (dense, sparse index list, or
+	// run-length) picked per segment from its measured density, with the
+	// encode/decode CPU time charged through the machine cost model
+	// (frontier compression after Romera and Buluç & Madduri).
+	OptCompressedAllgather
 )
 
 // String implements fmt.Stringer using the paper's labels.
@@ -46,6 +56,8 @@ func (o Opt) String() string {
 		return "Share all"
 	case OptParAllgather:
 		return "Par allgather"
+	case OptCompressedAllgather:
+		return "Compressed allgather"
 	default:
 		return fmt.Sprintf("Opt(%d)", int(o))
 	}
@@ -101,6 +113,15 @@ type Options struct {
 	Dedup bool
 	// Chunk is the OpenMP dynamic-schedule chunk size in vertices.
 	Chunk int64
+	// WireFormat pins the OptCompressedAllgather codec to one wire
+	// format; the zero value (wire.FormatAuto) enables the adaptive
+	// per-segment selector. Ignored below OptCompressedAllgather.
+	WireFormat wire.Format
+	// WireSparseDensity, when > 0, replaces the analytic size-based
+	// selector with a classic density threshold (Buluç & Madduri):
+	// sparse below the threshold, dense at or above it. The ablation
+	// knob of experiments.AblationCompression.
+	WireSparseDensity float64
 }
 
 // DefaultOptions returns the reference-code defaults.
@@ -127,8 +148,14 @@ func (o Options) Validate() error {
 	if o.Chunk <= 0 {
 		return fmt.Errorf("bfs: chunk %d must be positive", o.Chunk)
 	}
-	if o.Opt < OptOriginal || o.Opt > OptParAllgather {
+	if o.Opt < OptOriginal || o.Opt > OptCompressedAllgather {
 		return fmt.Errorf("bfs: unknown optimization level %d", int(o.Opt))
+	}
+	if o.WireFormat >= wire.FormatList {
+		return fmt.Errorf("bfs: wire format %d is not a bitmap format", int(o.WireFormat))
+	}
+	if o.WireSparseDensity < 0 || o.WireSparseDensity > 1 {
+		return fmt.Errorf("bfs: sparse-density threshold %g outside [0, 1]", o.WireSparseDensity)
 	}
 	return nil
 }

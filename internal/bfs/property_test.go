@@ -18,7 +18,7 @@ func TestAllVariantsAgreeOnReachabilityProperty(t *testing.T) {
 		const scale = 11
 		params := rmat.Graph500(scale).WithSeed(seed%1000 + 1)
 		var visited, edges int64
-		for _, opt := range []Opt{OptOriginal, OptShareInQueue, OptShareAll, OptParAllgather} {
+		for _, opt := range []Opt{OptOriginal, OptShareInQueue, OptShareAll, OptParAllgather, OptCompressedAllgather} {
 			opts := DefaultOptions()
 			opts.Opt = opt
 			r, err := NewRunner(testConfig(scale, 2, 4), machine.PPN8Bind, params, opts)

@@ -33,6 +33,7 @@ import (
 	"numabfs/internal/omp"
 	"numabfs/internal/rmat"
 	"numabfs/internal/trace"
+	"numabfs/internal/wire"
 )
 
 // Grid describes the processor grid.
@@ -60,6 +61,12 @@ type Runner struct {
 	W      *mpi.World
 	Grid   Grid
 	Params rmat.Params
+
+	// Compress sends the expand phase's frontier vertex lists in the
+	// varint-delta wire format (internal/wire) instead of raw int64s —
+	// the 2-D engine's share of the OptCompressedAllgather machinery.
+	// Set before Setup.
+	Compress bool
 
 	cfg machine.Config
 	pl  machine.Placement
@@ -92,6 +99,12 @@ type rankState struct {
 	frontier []int64 // owned frontier entering the next level
 	bd       trace.Breakdown
 	levels   int
+
+	// codec and lists are the compressed-expand machinery (nil/empty
+	// when Compress is off): the codec encodes the rank's frontier list
+	// once per level, lists is the reused per-column receive scratch.
+	codec *wire.Codec
+	lists [][]int64
 
 	// sent stamps deduplicate fold candidates: a vertex discovered by
 	// several local frontier sources is sent to its owner once per level

@@ -251,3 +251,42 @@ func TestObsRecordsSpans(t *testing.T) {
 		}
 	}
 }
+
+// TestBFS2DCompressedEquivalence: the compressed expand phase must
+// produce the identical traversal while moving fewer wire bytes (the
+// frontier lists are sorted per owner, so the varint-delta code beats 8
+// bytes per vertex), with the raw ledger unchanged.
+func TestBFS2DCompressedEquivalence(t *testing.T) {
+	const scale = 12
+	params := rmat.Graph500(scale)
+	build := func(compress bool) *Runner {
+		r, err := NewRunner(testConfig(scale, 2, 4), machine.PPN8Bind, Grid{R: 2, C: 4}, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Compress = compress
+		r.Setup()
+		return r
+	}
+	plain := build(false)
+	comp := build(true)
+	root := params.Roots(1, plain.HasEdgeGlobal)[0]
+	want := plain.RunRoot(root)
+	got := comp.RunRoot(root)
+
+	if got.Visited != want.Visited || got.TraversedEdges != want.TraversedEdges {
+		t.Fatalf("compressed 2-D changed the traversal: %+v vs %+v", got, want)
+	}
+	wl, gl := plain.Levels(root), comp.Levels(root)
+	for v := range wl {
+		if wl[v] != gl[v] {
+			t.Fatalf("vertex %d: level %d vs %d", v, gl[v], wl[v])
+		}
+	}
+	if got.RawCommBytes != want.CommBytes {
+		t.Errorf("compressed raw volume %d != plain volume %d", got.RawCommBytes, want.CommBytes)
+	}
+	if got.CommBytes >= want.CommBytes {
+		t.Errorf("compressed wire bytes %d not below plain %d", got.CommBytes, want.CommBytes)
+	}
+}

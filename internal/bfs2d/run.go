@@ -17,8 +17,11 @@ type RootResult struct {
 	Levels         int
 	Breakdown      trace.Breakdown // mean across ranks
 	// CommBytes is the exact total network volume (intra + inter) of
-	// the iteration, for comparison with the 1-D engine.
-	CommBytes int64
+	// the iteration, for comparison with the 1-D engine. With Compress
+	// on these are wire bytes; RawCommBytes is the logical volume
+	// (identical to CommBytes when compression is off).
+	CommBytes    int64
+	RawCommBytes int64
 }
 
 // RunRoot runs one top-down 2-D BFS from root.
@@ -60,6 +63,7 @@ func (r *Runner) RunRoot(root int64) RootResult {
 	res.Breakdown = bd
 	vol := r.W.Net().Volume()
 	res.CommBytes = vol.IntraBytes + vol.InterBytes
+	res.RawCommBytes = vol.RawIntraBytes + vol.RawInterBytes
 	if res.TimeNs > 0 {
 		res.TEPS = float64(res.TraversedEdges) / (res.TimeNs / 1e9)
 	}
@@ -102,7 +106,13 @@ func (rs *rankState) run(p *mpi.Proc, all *collective.Group, root int64) {
 		// processor column.
 		levelStart := p.Clock()
 		t0 = levelStart
-		lists := col.AllgathervInt64(p, rs.frontier)
+		var lists [][]int64
+		if rs.codec != nil {
+			rs.lists = col.AllgathervInt64Compressed(p, rs.frontier, rs.lists, rs.codec)
+			lists = rs.lists
+		} else {
+			lists = col.AllgathervInt64(p, rs.frontier)
+		}
 		rs.charge(trace.TDComm, t0, p.Clock())
 
 		// LOCAL: scan the expanded frontier's local adjacency.

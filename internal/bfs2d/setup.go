@@ -7,6 +7,7 @@ import (
 	"numabfs/internal/collective"
 	"numabfs/internal/mpi"
 	"numabfs/internal/omp"
+	"numabfs/internal/wire"
 )
 
 // Setup generates the graph and builds the 2-D partitioned adjacency:
@@ -91,6 +92,10 @@ func (r *Runner) Setup() {
 		p.Compute(m*16/cfg.MemBWPerSocket + m*logd*4*cfg.CPUOpNs)
 
 		rs.parent = make([]int64, r.blockSize)
+		if r.Compress {
+			rs.codec = &wire.Codec{Team: rs.team, Loc: r.pl.PrivateLoc}
+			rs.lists = make([][]int64, r.Grid.R)
+		}
 		rs.sent = make([]int64, int64(r.Grid.C)*r.blockSize)
 		for k := range rs.sent {
 			rs.sent[k] = -1

@@ -1,0 +1,84 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// appendNaive is the reference extraction: Get over every bit in range.
+func appendNaive(b *Bitmap, dst []int64, lo, hi int64) []int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.Len() {
+		hi = b.Len()
+	}
+	for i := lo; i < hi; i++ {
+		if b.Get(i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+func TestAppendSetBits(t *testing.T) {
+	b := New(300)
+	for _, i := range []int64{0, 1, 63, 64, 65, 127, 128, 200, 255, 299} {
+		b.Set(i)
+	}
+	cases := []struct{ lo, hi int64 }{
+		{0, 300},   // full
+		{0, 0},     // empty
+		{64, 128},  // word-aligned
+		{1, 299},   // clips both boundary bits
+		{63, 65},   // straddles a word boundary
+		{65, 65},   // empty mid-word
+		{-5, 1000}, // clamped
+		{200, 100}, // inverted
+		{128, 129}, // single set bit
+		{129, 130}, // single clear bit
+	}
+	var got, want []int64
+	for _, c := range cases {
+		got = b.AppendSetBits(got[:0], c.lo, c.hi)
+		want = appendNaive(b, want[:0], c.lo, c.hi)
+		if len(got) != len(want) {
+			t.Fatalf("[%d,%d): got %v, want %v", c.lo, c.hi, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("[%d,%d): got %v, want %v", c.lo, c.hi, got, want)
+			}
+		}
+	}
+	// Appends to existing contents rather than overwriting.
+	out := b.AppendSetBits([]int64{-7}, 0, 300)
+	if out[0] != -7 || int64(len(out)-1) != b.Count() {
+		t.Fatalf("append semantics broken: %v", out)
+	}
+}
+
+func TestAppendSetBitsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(words []uint64, loRaw, hiRaw uint16) bool {
+		b := &Bitmap{n: int64(len(words)) * 64, words: words}
+		lo := int64(loRaw) % (b.n + 1)
+		hi := lo + int64(hiRaw)%97
+		got := b.AppendSetBits(nil, lo, hi)
+		want := appendNaive(b, nil, lo, hi)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

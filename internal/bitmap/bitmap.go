@@ -166,6 +166,42 @@ func (b *Bitmap) ForEachSet(fn func(i int64)) {
 	}
 }
 
+// AppendSetBits appends the indices of the set bits in [loBit, hiBit)
+// to dst in ascending order and returns the extended slice. dst is
+// caller-owned scratch — pass dst[:0] to reuse it, making steady-state
+// extraction allocation-free. Scanning is word-at-a-time with
+// TrailingZeros64, masking the partial first and last words.
+func (b *Bitmap) AppendSetBits(dst []int64, loBit, hiBit int64) []int64 {
+	if loBit < 0 {
+		loBit = 0
+	}
+	if hiBit > b.n {
+		hiBit = b.n
+	}
+	if loBit >= hiBit {
+		return dst
+	}
+	loW := loBit / wordBits
+	hiW := (hiBit + wordBits - 1) / wordBits
+	for wi := loW; wi < hiW; wi++ {
+		w := b.words[wi]
+		base := wi * wordBits
+		if wi == loW {
+			if off := loBit - base; off > 0 {
+				w &= ^uint64(0) << uint(off)
+			}
+		}
+		if rem := hiBit - base; rem < wordBits {
+			w &= (uint64(1) << uint(rem)) - 1
+		}
+		for w != 0 {
+			dst = append(dst, base+int64(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // WordRange returns the half-open word range [lo, hi) covering bit range
 // [loBit, hiBit). Used to slice a bitmap into per-rank segments whose
 // boundaries are word-aligned by construction of the 1-D partition.

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"numabfs/internal/mpi"
+	"numabfs/internal/wire"
 )
 
 // RingThresholdBytes is the default Thakur–Gropp switch point: recursive
@@ -21,6 +22,8 @@ const (
 	tagBcast     = 0x4000
 	tagAlltoall  = 0x5000
 	tagAllreduce = 0x6000
+	tagRingC     = 0x9000
+	tagListC     = 0xA000
 )
 
 // Allgather performs an allgatherv over the group into buf: member i's
@@ -47,14 +50,8 @@ func (g *Group) Allgather(p *mpi.Proc, buf []uint64, l Layout) {
 // its own) to its successor. Total traffic is m*(n-1) bytes — Eq. (1).
 func (g *Group) AllgatherRing(p *mpi.Proc, buf []uint64, l Layout) {
 	// The send topology is the same in every step: i -> i+1.
-	n := g.Size()
-	sendTo := make([]int, n)
-	for i := range sendTo {
-		sendTo[i] = (i + 1) % n
-	}
-	streams := g.stepStreams(sendTo)
 	t0 := p.Clock()
-	g.allgatherRingStreams(p, buf, l, streams[g.Pos(p.Rank())])
+	g.allgatherRingStreams(p, buf, l, g.ringStreams()[g.Pos(p.Rank())])
 	p.Obs().Collective("allgather-ring", t0, p.Clock())
 }
 
@@ -73,15 +70,53 @@ func (g *Group) allgatherRingStreams(p *mpi.Proc, buf []uint64, l Layout, stream
 	for s := 0; s < n-1; s++ {
 		sendID := (me - s + n) % n
 		recvID := (me - s - 1 + n) % n
-		payload := blocks{ids: []int{sendID}, data: [][]uint64{l.seg(buf, sendID)}}
-		m := p.SendRecv(next, tagRing+s, payload.words()*8, payload, prev, tagRing+s, streams)
-		in := m.Payload.(blocks)
-		for k, id := range in.ids {
-			if id != recvID {
-				panic("collective: ring allgather received unexpected segment")
-			}
-			copy(l.seg(buf, id), in.data[k])
+		seg := l.seg(buf, sendID)
+		m := p.SendRecv(next, tagRing+s, int64(len(seg))*8, ringSeg{id: sendID, data: seg},
+			prev, tagRing+s, streams)
+		in := m.Payload.(ringSeg)
+		if in.id != recvID {
+			panic("collective: ring allgather received unexpected segment")
 		}
+		copy(l.seg(buf, in.id), in.data)
+	}
+}
+
+// AllgatherRingCompressed is AllgatherRing with each segment travelling
+// in the codec's wire formats: every member encodes its own segment
+// once, and receivers decode into place, then forward the still-encoded
+// payload. Wire bytes drive the modelled transfer cost while the
+// network's raw counters keep Eq. (1)'s logical volume visible, so one
+// run exposes the compression saving.
+func (g *Group) AllgatherRingCompressed(p *mpi.Proc, buf []uint64, l Layout, c *wire.Codec) {
+	t0 := p.Clock()
+	g.allgatherRingStreamsC(p, buf, l, g.ringStreams()[g.Pos(p.Rank())], c)
+	p.Obs().Collective("allgather-ring-comp", t0, p.Clock())
+}
+
+// allgatherRingStreamsC is the compressed ring with an explicit stream
+// count (the parallelized allgather's subgroups pass their own).
+func (g *Group) allgatherRingStreamsC(p *mpi.Proc, buf []uint64, l Layout, streams int, c *wire.Codec) {
+	n := g.Size()
+	if n == 1 {
+		return
+	}
+	me := g.Pos(p.Rank())
+	next := g.ranks[(me+1)%n]
+	prev := g.ranks[(me-1+n)%n]
+
+	pl, ns := c.Encode(l.seg(buf, me))
+	p.Compute(ns)
+	cur := encSeg{id: me, pl: pl}
+	for s := 0; s < n-1; s++ {
+		recvID := (me - s - 1 + n) % n
+		m := p.SendRecvWire(next, tagRingC+s, cur.pl.WireBytes, cur.pl.RawBytes, cur,
+			prev, tagRingC+s, streams)
+		in := m.Payload.(encSeg)
+		if in.id != recvID {
+			panic("collective: compressed ring received unexpected segment")
+		}
+		p.Compute(c.Decode(l.seg(buf, in.id), in.pl))
+		cur = in
 	}
 }
 
@@ -99,13 +134,10 @@ func (g *Group) AllgatherRecDouble(p *mpi.Proc, buf []uint64, l Layout) {
 	me := g.Pos(p.Rank())
 	t0 := p.Clock()
 	steps := bits.TrailingZeros(uint(n))
-	sendTo := make([]int, n)
+	xor := g.xorStreams()
 	for k := 0; k < steps; k++ {
 		d := 1 << uint(k)
-		for i := range sendTo {
-			sendTo[i] = i ^ d
-		}
-		streams := g.stepStreams(sendTo)
+		streams := xor[k]
 		partner := me ^ d
 		// After k steps I hold the d segments of my d-aligned block;
 		// my partner holds the sibling block of the 2d-aligned pair.
@@ -165,16 +197,12 @@ func (g *Group) AllreduceSumInt64(p *mpi.Proc, x int64) int64 {
 		return sum
 	}
 	steps := bits.TrailingZeros(uint(n))
-	sendTo := make([]int, n)
+	xor := g.xorStreams()
 	sum := x
 	for k := 0; k < steps; k++ {
 		d := 1 << uint(k)
-		for i := range sendTo {
-			sendTo[i] = i ^ d
-		}
-		streams := g.stepStreams(sendTo)
 		partner := g.ranks[me^d]
-		m := p.SendRecv(partner, tagAllreduce+2+k, 8, sum, partner, tagAllreduce+2+k, streams[me])
+		m := p.SendRecv(partner, tagAllreduce+2+k, 8, sum, partner, tagAllreduce+2+k, xor[k][me])
 		sum += m.Payload.(int64)
 	}
 	p.Obs().Collective("allreduce", t0, p.Clock())

@@ -1,6 +1,9 @@
 package collective
 
-import "numabfs/internal/mpi"
+import (
+	"numabfs/internal/mpi"
+	"numabfs/internal/wire"
+)
 
 const tagGatherList = 0x8000
 
@@ -20,11 +23,7 @@ func (g *Group) AllgathervInt64(p *mpi.Proc, mine []int64) [][]int64 {
 	}
 	next := g.ranks[(me+1)%n]
 	prev := g.ranks[(me-1+n)%n]
-	sendTo := make([]int, n)
-	for i := range sendTo {
-		sendTo[i] = (i + 1) % n
-	}
-	streams := g.stepStreams(sendTo)
+	streams := g.ringStreams()[me]
 
 	t0 := p.Clock()
 	for s := 0; s < n-1; s++ {
@@ -32,7 +31,7 @@ func (g *Group) AllgathervInt64(p *mpi.Proc, mine []int64) [][]int64 {
 		recvID := (me - s - 1 + n) % n
 		payload := out[sendID]
 		m := p.SendRecv(next, tagGatherList+s, int64(len(payload))*8, payload,
-			prev, tagGatherList+s, streams[me])
+			prev, tagGatherList+s, streams)
 		if m.Payload == nil {
 			out[recvID] = nil
 			continue
@@ -40,5 +39,46 @@ func (g *Group) AllgathervInt64(p *mpi.Proc, mine []int64) [][]int64 {
 		out[recvID] = m.Payload.([]int64)
 	}
 	p.Obs().Collective("allgatherv-list", t0, p.Clock())
+	return out
+}
+
+// AllgathervInt64Compressed is AllgathervInt64 with every list
+// travelling in the codec's varint-delta format: each member encodes
+// its own list once, receivers decode and forward the still-encoded
+// payload. out, when non-nil, is reused (out[i] is overwritten via
+// out[i][:0]); pass nil on first use. The member's own list is
+// referenced, not copied, as in the uncompressed variant.
+func (g *Group) AllgathervInt64Compressed(p *mpi.Proc, mine []int64, out [][]int64, c *wire.Codec) [][]int64 {
+	n := g.Size()
+	me := g.Pos(p.Rank())
+	if out == nil {
+		out = make([][]int64, n)
+	}
+	out[me] = mine
+	if n == 1 {
+		return out
+	}
+	next := g.ranks[(me+1)%n]
+	prev := g.ranks[(me-1+n)%n]
+	streams := g.ringStreams()[me]
+
+	t0 := p.Clock()
+	pl, ns := c.EncodeList(mine)
+	p.Compute(ns)
+	cur := encSeg{id: me, pl: pl}
+	for s := 0; s < n-1; s++ {
+		recvID := (me - s - 1 + n) % n
+		m := p.SendRecvWire(next, tagListC+s, cur.pl.WireBytes, cur.pl.RawBytes, cur,
+			prev, tagListC+s, streams)
+		in := m.Payload.(encSeg)
+		if in.id != recvID {
+			panic("collective: compressed list ring received unexpected list")
+		}
+		var dns float64
+		out[recvID], dns = c.DecodeList(in.pl, out[recvID][:0])
+		p.Compute(dns)
+		cur = in
+	}
+	p.Obs().Collective("allgatherv-list-comp", t0, p.Clock())
 	return out
 }

@@ -20,16 +20,30 @@ package collective
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"numabfs/internal/mpi"
+	"numabfs/internal/wire"
 )
 
 // Group is an ordered set of ranks that communicate collectively.
 type Group struct {
-	w     *mpi.World
-	ranks []int
-	pos   map[int]int // rank -> position
-	node  []int       // position -> node
+	w       *mpi.World
+	ranks   []int
+	pos     map[int]int // rank -> position
+	node    []int       // position -> node
+	maxNode int
+
+	// Cached per-topology stream tables. The ring and the
+	// recursive-doubling exchanges use the same send topology in every
+	// call, but the inner loops were recomputing it — two map
+	// allocations per step per rank. The tables are built once, under
+	// sync.Once because group members run on concurrent goroutines.
+	ringOnce sync.Once
+	ringStr  []int
+	xorOnce  sync.Once
+	xorStr   [][]int
 }
 
 // NewGroup builds a group over the given ranks (in order).
@@ -46,6 +60,9 @@ func NewGroup(w *mpi.World, ranks []int) *Group {
 		}
 		g.pos[r] = i
 		g.node[i] = w.Proc(r).Node()
+		if g.node[i] > g.maxNode {
+			g.maxNode = g.node[i]
+		}
 	}
 	return g
 }
@@ -83,8 +100,8 @@ func (g *Group) Pos(r int) int {
 // stream counts include inbound transfers. The result is indexed by
 // member position; idle members get 0.
 func (g *Group) stepStreams(sendTo []int) []int {
-	interByNode := make(map[int]int)
-	intraByNode := make(map[int]int)
+	interByNode := make([]int, g.maxNode+1)
+	intraByNode := make([]int, g.maxNode+1)
 	for i, dst := range sendTo {
 		if dst < 0 {
 			continue
@@ -114,11 +131,60 @@ func (g *Group) stepStreams(sendTo []int) []int {
 	return out
 }
 
+// ringStreams returns the per-position stream counts of the ring
+// topology (position i sends to i+1), identical in every ring step.
+func (g *Group) ringStreams() []int {
+	g.ringOnce.Do(func() {
+		sendTo := make([]int, len(g.ranks))
+		for i := range sendTo {
+			sendTo[i] = (i + 1) % len(sendTo)
+		}
+		g.ringStr = g.stepStreams(sendTo)
+	})
+	return g.ringStr
+}
+
+// xorStreams returns, for each recursive-doubling step k, the
+// per-position stream counts of the i <-> i XOR 2^k exchange. The
+// group size must be a power of two.
+func (g *Group) xorStreams() [][]int {
+	g.xorOnce.Do(func() {
+		n := len(g.ranks)
+		steps := bits.TrailingZeros(uint(n))
+		g.xorStr = make([][]int, steps)
+		sendTo := make([]int, n)
+		for k := 0; k < steps; k++ {
+			d := 1 << uint(k)
+			for i := range sendTo {
+				sendTo[i] = i ^ d
+			}
+			g.xorStr[k] = g.stepStreams(sendTo)
+		}
+	})
+	return g.xorStr
+}
+
 // blocks is the payload of allgather-family messages: segment ids and
 // their word data. The receiver copies each segment into place.
 type blocks struct {
 	ids  []int
 	data [][]uint64
+}
+
+// ringSeg is the payload of one ring-allgather step: the single
+// segment being forwarded. (The ring previously boxed a blocks value
+// with one-element id and data slices — three heap allocations per
+// step per rank in the hottest collective.)
+type ringSeg struct {
+	id   int
+	data []uint64
+}
+
+// encSeg is ringSeg's compressed counterpart: one wire-encoded segment
+// (or vertex list) with its id.
+type encSeg struct {
+	id int
+	pl wire.Payload
 }
 
 func (b blocks) words() int64 {

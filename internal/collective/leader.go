@@ -2,6 +2,7 @@ package collective
 
 import (
 	"numabfs/internal/mpi"
+	"numabfs/internal/wire"
 )
 
 // NodeComm holds the group structure the paper's node-aware allgather
@@ -210,16 +211,7 @@ func (nc *NodeComm) ParallelAllgather(p *mpi.Proc, shared []uint64, seg []uint64
 	copy(l.seg(shared, me), seg)
 	p.Compute(float64(l.Counts[me]*8) / p.World().Config().ShmCopyBW)
 
-	// Subgroup layout: the segments of this subgroup's members.
-	counts := make([]int64, sub.Size())
-	displs := make([]int64, sub.Size())
-	for i, r := range sub.Ranks() {
-		wp := nc.World.Pos(r)
-		counts[i] = l.Counts[wp]
-		displs[i] = l.Displs[wp]
-	}
-	sl := Layout{Counts: counts, Displs: displs}
-	sub.allgatherRingStreams(p, shared, sl, nc.PPN)
+	sub.allgatherRingStreams(p, shared, nc.subLayout(sub, l), nc.PPN)
 	st.InterNs = p.Clock() - t0
 
 	t0 = p.Clock()
@@ -258,6 +250,19 @@ func (nc *NodeComm) ParallelAllgatherInPlace(p *mpi.Proc, shared []uint64, l Lay
 	tc := p.Clock()
 
 	t0 := p.Clock()
+	sub.allgatherRingStreams(p, shared, nc.subLayout(sub, l), nc.PPN)
+	st.InterNs = p.Clock() - t0
+
+	t0 = p.Clock()
+	node.barrierVia(p)
+	st.InterNs += p.Clock() - t0
+	p.Obs().Collective("par-allgather-inplace", tc, p.Clock())
+	return st
+}
+
+// subLayout returns the layout of a subgroup's members' segments
+// within the full buffer.
+func (nc *NodeComm) subLayout(sub *Group, l Layout) Layout {
 	counts := make([]int64, sub.Size())
 	displs := make([]int64, sub.Size())
 	for i, r := range sub.Ranks() {
@@ -265,13 +270,79 @@ func (nc *NodeComm) ParallelAllgatherInPlace(p *mpi.Proc, shared []uint64, l Lay
 		counts[i] = l.Counts[wp]
 		displs[i] = l.Displs[wp]
 	}
-	sub.allgatherRingStreams(p, shared, Layout{Counts: counts, Displs: displs}, nc.PPN)
+	return Layout{Counts: counts, Displs: displs}
+}
+
+// ParallelAllgatherCompressed is ParallelAllgather with every subgroup
+// segment travelling in the codec's adaptive wire formats — the fifth
+// optimization level (OptCompressedAllgather), stacking Romera-style
+// frontier compression on the paper's parallelized allgather. The
+// staging copy and the node barrier are unchanged; only the inter-node
+// rings carry encoded payloads.
+func (nc *NodeComm) ParallelAllgatherCompressed(p *mpi.Proc, shared []uint64, seg []uint64, l Layout, c *wire.Codec) StepTimes {
+	var st StepTimes
+	me := nc.World.Pos(p.Rank())
+	node := nc.Nodes[p.Node()]
+	sub := nc.Subs[p.LocalRank()]
+	tc := p.Clock()
+
+	t0 := p.Clock()
+	copy(l.seg(shared, me), seg)
+	p.Compute(float64(l.Counts[me]*8) / p.World().Config().ShmCopyBW)
+
+	sub.allgatherRingStreamsC(p, shared, nc.subLayout(sub, l), nc.PPN, c)
 	st.InterNs = p.Clock() - t0
 
 	t0 = p.Clock()
 	node.barrierVia(p)
 	st.InterNs += p.Clock() - t0
-	p.Obs().Collective("par-allgather-inplace", tc, p.Clock())
+	p.Obs().Collective("par-allgather-comp", tc, p.Clock())
+	return st
+}
+
+// ParallelAllgatherInPlaceCompressed is ParallelAllgatherInPlace with
+// compressed subgroup rings (contributions already staged in the
+// shared buffer).
+func (nc *NodeComm) ParallelAllgatherInPlaceCompressed(p *mpi.Proc, shared []uint64, l Layout, c *wire.Codec) StepTimes {
+	var st StepTimes
+	node := nc.Nodes[p.Node()]
+	sub := nc.Subs[p.LocalRank()]
+	tc := p.Clock()
+
+	t0 := p.Clock()
+	sub.allgatherRingStreamsC(p, shared, nc.subLayout(sub, l), nc.PPN, c)
+	st.InterNs = p.Clock() - t0
+
+	t0 = p.Clock()
+	node.barrierVia(p)
+	st.InterNs += p.Clock() - t0
+	p.Obs().Collective("par-allgather-inplace-comp", tc, p.Clock())
+	return st
+}
+
+// LeaderAllgatherCompressed is LeaderAllgather with the inter-node
+// leader ring carrying encoded payloads. The intra-node gather and
+// broadcast stay raw: they move through shared memory, where the
+// bandwidth gap compression exploits does not exist.
+func (nc *NodeComm) LeaderAllgatherCompressed(p *mpi.Proc, buf []uint64, l Layout, c *wire.Codec) StepTimes {
+	var st StepTimes
+	node := nc.Nodes[p.Node()]
+	tc := p.Clock()
+
+	t0 := p.Clock()
+	node.GatherBinomial(p, buf, nc.localView(l, p.Node()), 0)
+	st.GatherNs = p.Clock() - t0
+
+	if p.LocalRank() == 0 {
+		t0 = p.Clock()
+		nc.Leaders.AllgatherRingCompressed(p, buf, nc.nodeLayout(l), c)
+		st.InterNs = p.Clock() - t0
+	}
+
+	t0 = p.Clock()
+	node.BcastBinomial(p, buf, l.TotalWords(), 0)
+	st.BcastNs = p.Clock() - t0
+	p.Obs().Collective("leader-allgather-comp", tc, p.Clock())
 	return st
 }
 

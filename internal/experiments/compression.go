@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/machine"
+	"numabfs/internal/stats"
+	"numabfs/internal/wire"
+)
+
+// commStats averages the per-root communication ledgers of one run:
+// wire and raw MB per iteration, plus mean segment counts per format.
+type commStats struct {
+	wireMB, rawMB float64
+	segs          [wire.NumFormats]float64
+}
+
+func commStatsOf(per []bfs.RootResult) commStats {
+	var cs commStats
+	var wireB, rawB []float64
+	for _, rr := range per {
+		wireB = append(wireB, float64(rr.CommBytes))
+		rawB = append(rawB, float64(rr.RawCommBytes))
+		for f, n := range rr.Wire.Segments {
+			cs.segs[f] += float64(n)
+		}
+	}
+	cs.wireMB = stats.Mean(wireB) / (1 << 20)
+	cs.rawMB = stats.Mean(rawB) / (1 << 20)
+	for f := range cs.segs {
+		cs.segs[f] /= float64(len(per))
+	}
+	return cs
+}
+
+// compressedVariants is ppn8Variants plus the fifth cumulative level.
+func compressedVariants() []variant {
+	return append(ppn8Variants(),
+		variant{"+ Compressed allgather", machine.PPN8Bind, bfs.OptCompressedAllgather})
+}
+
+// ExtCompression evaluates the adaptive frontier compression of the
+// bottom-up allgather (OptCompressedAllgather) as a weak-scaling sweep
+// over 1..16 nodes: TEPS for every cumulative level, the average
+// bottom-up communication phase of the top two levels, the wire-vs-raw
+// volume of the compressed level, and the selector's per-format segment
+// counts (which show it switching formats as the frontier's density
+// moves through the BFS). Compression pays off where the segments are
+// big enough for the β (bandwidth) term to dominate the modelled
+// encode/decode scans — small scales show the crossover itself.
+func ExtCompression(s Spec) (*Table, error) {
+	nodesSweep := []int{1, 2, 4, 8, 16}
+	t := &Table{
+		Name:    "Ext. compression",
+		Title:   "Adaptive frontier compression for the bottom-up allgather, weak scaling",
+		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes", "16 nodes"},
+	}
+
+	var parComm, compComm []float64
+	var wireMB, rawMB []float64
+	var dense, sparse, rle []float64
+	for _, v := range compressedVariants() {
+		opts := bfs.DefaultOptions()
+		opts.Opt = v.opt
+		teps := make([]float64, 0, len(nodesSweep))
+		for _, nodes := range nodesSweep {
+			res, err := s.run(nodes, v.policy, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ext compression %s %d nodes: %w", v.label, nodes, err)
+			}
+			teps = append(teps, res.HarmonicTEPS)
+			switch v.opt {
+			case bfs.OptParAllgather:
+				parComm = append(parComm, res.Breakdown.AvgBUCommNs()/1e6)
+			case bfs.OptCompressedAllgather:
+				compComm = append(compComm, res.Breakdown.AvgBUCommNs()/1e6)
+				cs := commStatsOf(res.PerRoot)
+				wireMB = append(wireMB, cs.wireMB)
+				rawMB = append(rawMB, cs.rawMB)
+				dense = append(dense, cs.segs[wire.FormatDense])
+				sparse = append(sparse, cs.segs[wire.FormatSparse])
+				rle = append(rle, cs.segs[wire.FormatRLE])
+			}
+		}
+		t.AddRow(v.label+" TEPS", teps...)
+	}
+	t.AddRow("Par allgather bu-comm (ms)", parComm...)
+	t.AddRow("Compressed bu-comm (ms)", compComm...)
+	t.AddRow("Compressed wire MB/root", wireMB...)
+	t.AddRow("Compressed raw MB/root", rawMB...)
+	t.AddRow("segments dense/root", dense...)
+	t.AddRow("segments sparse/root", sparse...)
+	t.AddRow("segments rle/root", rle...)
+	t.Notes = append(t.Notes,
+		"wire < raw MB is the compression saving; raw equals the uncompressed level's volume (Eq. 1/2 unchanged)",
+		"the per-format segment counts show the selector tracking the frontier's density across levels")
+	return t, nil
+}
+
+// AblationCompression ablates the codec's selector on a fixed 4-node
+// cluster: the adaptive size-based choice against each format forced,
+// and against the classic density-threshold rule (Buluç & Madduri) at
+// several thresholds. The adaptive row must have the smallest wire
+// volume — every other selector is one of its candidates.
+func AblationCompression(s Spec) (*Table, error) {
+	const nodes = 4
+	scale := s.scaleFor(nodes)
+	t := &Table{
+		Name:    "Abl. compression",
+		Title:   fmt.Sprintf("Wire-format selector ablation (%d nodes, scale %d)", nodes, scale),
+		Columns: []string{"TEPS", "wire MB", "raw MB", "bu-comm ms"},
+	}
+
+	type cfg struct {
+		label string
+		mod   func(*bfs.Options)
+	}
+	cfgs := []cfg{
+		{"par-allgather (no codec)", func(o *bfs.Options) { o.Opt = bfs.OptParAllgather }},
+		{"adaptive (size-based)", func(o *bfs.Options) {}},
+		{"force dense", func(o *bfs.Options) { o.WireFormat = wire.FormatDense }},
+		{"force sparse", func(o *bfs.Options) { o.WireFormat = wire.FormatSparse }},
+		{"force rle", func(o *bfs.Options) { o.WireFormat = wire.FormatRLE }},
+		{"threshold d<0.005", func(o *bfs.Options) { o.WireSparseDensity = 0.005 }},
+		{"threshold d<0.02", func(o *bfs.Options) { o.WireSparseDensity = 0.02 }},
+		{"threshold d<0.1", func(o *bfs.Options) { o.WireSparseDensity = 0.1 }},
+	}
+	for _, c := range cfgs {
+		opts := bfs.DefaultOptions()
+		opts.Opt = bfs.OptCompressedAllgather
+		c.mod(&opts)
+		res, err := s.run(nodes, machine.PPN8Bind, opts)
+		if err != nil {
+			return nil, fmt.Errorf("ablation compression %s: %w", c.label, err)
+		}
+		cs := commStatsOf(res.PerRoot)
+		t.AddRow(c.label, res.HarmonicTEPS, cs.wireMB, cs.rawMB, res.Breakdown.AvgBUCommNs()/1e6)
+	}
+	t.Notes = append(t.Notes,
+		"the adaptive selector's wire MB lower-bounds every forced format and threshold rule",
+		"raw MB is constant across rows: compression changes the encoding, never the logical traffic")
+	return t, nil
+}

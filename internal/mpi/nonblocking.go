@@ -28,7 +28,7 @@ func (p *Proc) Isend(dst, tag int, bytes int64, payload any, streams int) *Reque
 		panic(fmt.Sprintf("mpi: rank %d isend to self", p.rank))
 	}
 	m := message{
-		src: p.rank, tag: tag, bytes: bytes, streams: streams,
+		src: p.rank, tag: tag, bytes: bytes, raw: bytes, streams: streams,
 		payload: payload, sent: p.clock, ack: make(chan float64, 1),
 	}
 	p.post(dst, m)
@@ -74,6 +74,7 @@ func (r *Request) Wait() {
 	}
 	begin := maxf(m.sent, r.postClock)
 	dur := p.w.net.TransferTime(m.bytes, p.w.procs[m.src].node, p.node, m.streams)
+	p.w.net.CountRaw(m.raw, p.w.procs[m.src].node == p.node)
 	end := begin + dur
 	m.ack <- end
 	if end > p.clock {

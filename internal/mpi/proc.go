@@ -7,10 +7,13 @@ import (
 )
 
 // message is an in-flight transfer. ack carries the rendezvous end time
-// back to the sender so both clocks agree.
+// back to the sender so both clocks agree. bytes is what crosses the
+// wire; raw is the logical (pre-compression) size, equal to bytes
+// except for encoded payloads posted via SendRecvWire.
 type message struct {
 	src, tag int
 	bytes    int64
+	raw      int64
 	streams  int
 	payload  any
 	sent     float64 // sender's clock when the send was posted
@@ -47,13 +50,15 @@ type Proc struct {
 // callers use the result without checking.
 func (p *Proc) Obs() *obs.Rank { return p.obs }
 
-// countMsg charges one outbound transfer to the hop-class counters.
-func (p *Proc) countMsg(dst int, bytes int64) {
+// countMsg charges one outbound transfer to the hop-class counters:
+// wire bytes (what crossed the network) and raw bytes (the logical,
+// pre-compression size).
+func (p *Proc) countMsg(dst int, wire, raw int64) {
 	if p.obs == nil {
 		return
 	}
 	d := p.w.procs[dst]
-	p.obs.CountMsg(obs.ClassifyHop(p.node, p.local, d.node, d.local), bytes)
+	p.obs.CountMsg(obs.ClassifyHop(p.node, p.local, d.node, d.local), wire, raw)
 }
 
 // Rank returns the global rank.
@@ -97,7 +102,7 @@ func (p *Proc) Send(dst, tag int, bytes int64, payload any, streams int) {
 	}
 	start := p.clock
 	m := message{
-		src: p.rank, tag: tag, bytes: bytes, streams: streams,
+		src: p.rank, tag: tag, bytes: bytes, raw: bytes, streams: streams,
 		payload: payload, sent: p.clock, ack: make(chan float64, 1),
 	}
 	p.post(dst, m)
@@ -105,7 +110,7 @@ func (p *Proc) Send(dst, tag int, bytes int64, payload any, streams int) {
 	p.clock = end
 	p.commNs += end - start
 	p.sentBytes += bytes
-	p.countMsg(dst, bytes)
+	p.countMsg(dst, bytes, bytes)
 }
 
 // post delivers a message to dst's mailbox, failing if the job aborts.
@@ -152,6 +157,7 @@ func (p *Proc) Recv(src, tag int) Msg {
 	}
 	begin := maxf(m.sent, p.clock)
 	dur := p.w.net.TransferTime(m.bytes, p.w.procs[src].node, p.node, m.streams)
+	p.w.net.CountRaw(m.raw, p.w.procs[src].node == p.node)
 	end := begin + dur
 	m.ack <- end
 	p.clock = end
@@ -163,9 +169,21 @@ func (p *Proc) Recv(src, tag int) Msg {
 // completes both, as MPI_Sendrecv does. Ring exchanges need this: with
 // blocking Send alone, a cycle of ranks would deadlock.
 func (p *Proc) SendRecv(dst, sendTag int, bytes int64, payload any, src, recvTag int, streams int) Msg {
+	return p.sendRecv(dst, sendTag, bytes, bytes, payload, src, recvTag, streams)
+}
+
+// SendRecvWire is SendRecv for an encoded payload: wireBytes cross the
+// simulated network and drive the transfer cost, while rawBytes — the
+// logical, pre-encoding size — is recorded by the raw-volume counters,
+// so one run exposes both the compressed and the uncompressed volume.
+func (p *Proc) SendRecvWire(dst, sendTag int, wireBytes, rawBytes int64, payload any, src, recvTag int, streams int) Msg {
+	return p.sendRecv(dst, sendTag, wireBytes, rawBytes, payload, src, recvTag, streams)
+}
+
+func (p *Proc) sendRecv(dst, sendTag int, wire, raw int64, payload any, src, recvTag int, streams int) Msg {
 	start := p.clock
 	m := message{
-		src: p.rank, tag: sendTag, bytes: bytes, streams: streams,
+		src: p.rank, tag: sendTag, bytes: wire, raw: raw, streams: streams,
 		payload: payload, sent: p.clock, ack: make(chan float64, 1),
 	}
 	p.post(dst, m)
@@ -177,14 +195,15 @@ func (p *Proc) SendRecv(dst, sendTag int, bytes int64, payload any, src, recvTag
 	}
 	begin := maxf(in.sent, p.clock)
 	dur := p.w.net.TransferTime(in.bytes, p.w.procs[src].node, p.node, in.streams)
+	p.w.net.CountRaw(in.raw, p.w.procs[src].node == p.node)
 	recvEnd := begin + dur
 	in.ack <- recvEnd
 
 	sendEnd := p.await(m.ack)
 	p.clock = maxf(recvEnd, sendEnd)
 	p.commNs += p.clock - start
-	p.sentBytes += bytes
-	p.countMsg(dst, bytes)
+	p.sentBytes += wire
+	p.countMsg(dst, wire, raw)
 	return Msg{Src: in.src, Tag: in.tag, Bytes: in.bytes, Payload: in.payload}
 }
 

@@ -93,9 +93,14 @@ type Span struct {
 // Comm accumulates one rank's communication counters.
 type Comm struct {
 	// Msgs and Bytes count sender-side point-to-point transfers by hop
-	// class (each message is counted once, at its sender).
-	Msgs  [NumHops]int64
-	Bytes [NumHops]int64
+	// class (each message is counted once, at its sender). Bytes is the
+	// wire size — what crossed the network; RawBytes is the logical
+	// (pre-compression) size, equal to Bytes except for the encoded
+	// payloads of the compressed allgather, where the gap between the
+	// two is the compression saving.
+	Msgs     [NumHops]int64
+	Bytes    [NumHops]int64
+	RawBytes [NumHops]int64
 	// Barriers counts global barrier entries; BarrierWaitNs sums the
 	// rank's wait (arrival to last arrival) and BarrierWaits keeps the
 	// individual samples for percentile reporting.
@@ -115,6 +120,7 @@ func (c *Comm) merge(o *Comm) {
 	for h := Hop(0); h < NumHops; h++ {
 		c.Msgs[h] += o.Msgs[h]
 		c.Bytes[h] += o.Bytes[h]
+		c.RawBytes[h] += o.RawBytes[h]
 	}
 	c.Barriers += o.Barriers
 	c.BarrierWaitNs += o.BarrierWaitNs
@@ -277,13 +283,15 @@ func (r *Rank) Collective(name string, start, end float64) {
 	r.comm.Collectives[name]++
 }
 
-// CountMsg counts one sender-side point-to-point transfer.
-func (r *Rank) CountMsg(h Hop, bytes int64) {
+// CountMsg counts one sender-side point-to-point transfer: wireBytes
+// crossed the network, rawBytes is the logical (pre-compression) size.
+func (r *Rank) CountMsg(h Hop, wireBytes, rawBytes int64) {
 	if r == nil {
 		return
 	}
 	r.comm.Msgs[h]++
-	r.comm.Bytes[h] += bytes
+	r.comm.Bytes[h] += wireBytes
+	r.comm.RawBytes[h] += rawBytes
 }
 
 // BarrierWait records one global-barrier wait sample.

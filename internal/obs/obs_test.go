@@ -42,7 +42,7 @@ func TestNilRankNoOps(t *testing.T) {
 	r.PhaseSpan(trace.TDComp, 1, 0, 10)
 	r.LevelSpan(true, 1, 0, 10)
 	r.Collective("allgather-ring", 0, 10)
-	r.CountMsg(HopInterNode, 4096)
+	r.CountMsg(HopInterNode, 4096, 4096)
 	r.BarrierWait(3)
 	r.NodeBarrierWait(2)
 	if r.Spans() != nil {
@@ -101,9 +101,9 @@ func TestCommCounters(t *testing.T) {
 	rec := NewRecorder()
 	s := rec.NewSession("test")
 	rk := s.AddRank(3, 1, 2)
-	rk.CountMsg(HopIntraNode, 100)
-	rk.CountMsg(HopIntraNode, 50)
-	rk.CountMsg(HopInterNode, 8)
+	rk.CountMsg(HopIntraNode, 100, 100)
+	rk.CountMsg(HopIntraNode, 50, 50)
+	rk.CountMsg(HopInterNode, 8, 64)
 	rk.BarrierWait(10)
 	rk.BarrierWait(0)
 	rk.NodeBarrierWait(4)
@@ -116,6 +116,9 @@ func TestCommCounters(t *testing.T) {
 	}
 	if c.Msgs[HopInterNode] != 1 || c.Bytes[HopInterNode] != 8 {
 		t.Errorf("inter-node = %d msgs / %d B", c.Msgs[HopInterNode], c.Bytes[HopInterNode])
+	}
+	if c.RawBytes[HopIntraNode] != 150 || c.RawBytes[HopInterNode] != 64 {
+		t.Errorf("raw bytes = %v", c.RawBytes)
 	}
 	if c.Barriers != 2 || c.BarrierWaitNs != 10 || len(c.BarrierWaits) != 2 {
 		t.Errorf("barriers: %+v", c)

@@ -32,8 +32,12 @@ type SessionReport struct {
 
 	// Msgs / Bytes are sender-side point-to-point totals over all
 	// ranks, by hop class ("intra-socket", "intra-node", "inter-node").
-	Msgs  map[string]int64 `json:"msgs"`
-	Bytes map[string]int64 `json:"bytes"`
+	// Bytes is wire volume; RawBytes is the logical (pre-compression)
+	// volume and is only present when it differs — i.e. when the
+	// compressed allgather was active.
+	Msgs     map[string]int64 `json:"msgs"`
+	Bytes    map[string]int64 `json:"bytes"`
+	RawBytes map[string]int64 `json:"raw_bytes,omitempty"`
 	// Collectives counts collective calls by algorithm over all ranks.
 	Collectives map[string]int64 `json:"collective_calls,omitempty"`
 
@@ -151,6 +155,12 @@ func buildSessionReport(s *Session) SessionReport {
 	for h := Hop(0); h < NumHops; h++ {
 		sr.Msgs[h.String()] = comm.Msgs[h]
 		sr.Bytes[h.String()] = comm.Bytes[h]
+		if comm.RawBytes[h] != comm.Bytes[h] {
+			if sr.RawBytes == nil {
+				sr.RawBytes = make(map[string]int64)
+			}
+			sr.RawBytes[h.String()] = comm.RawBytes[h]
+		}
 	}
 	sr.Collectives = comm.Collectives
 	sr.BarrierCount = comm.Barriers
@@ -289,6 +299,9 @@ func (sr *SessionReport) render(b *strings.Builder) {
 	for h := Hop(0); h < NumHops; h++ {
 		fmt.Fprintf(b, "  %s %d msgs / %.2f MiB", h, sr.Msgs[h.String()],
 			float64(sr.Bytes[h.String()])/(1<<20))
+		if raw, ok := sr.RawBytes[h.String()]; ok {
+			fmt.Fprintf(b, " (raw %.2f MiB)", float64(raw)/(1<<20))
+		}
 	}
 	b.WriteByte('\n')
 

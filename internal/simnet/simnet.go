@@ -28,6 +28,14 @@ type Network struct {
 	interBytes atomic.Int64 // bytes moved between nodes
 	intraMsgs  atomic.Int64
 	interMsgs  atomic.Int64
+
+	// Raw (logical, pre-compression) volume. TransferTime counts what
+	// crosses the wire; when payloads travel encoded (wire formats of
+	// internal/wire), the mpi layer also reports the logical size here,
+	// so wire-vs-raw shows the compression savings in one run. For
+	// uncompressed traffic the raw counters equal the wire counters.
+	rawIntraBytes atomic.Int64
+	rawInterBytes atomic.Int64
 }
 
 // New returns a network over cfg.
@@ -87,19 +95,35 @@ func (n *Network) TransferTime(bytes int64, srcNode, dstNode, streams int) float
 	return n.cfg.InterNodeAlphaNs + float64(bytes)/n.InterNodeBandwidth(srcNode, dstNode, streams)
 }
 
-// Volume reports cumulative transferred bytes and message counts.
+// CountRaw records the logical (pre-compression) size of one received
+// message. The mpi layer calls it exactly once per message, on the
+// receiver side, next to the TransferTime charge for the wire bytes.
+func (n *Network) CountRaw(bytes int64, intra bool) {
+	if intra {
+		n.rawIntraBytes.Add(bytes)
+		return
+	}
+	n.rawInterBytes.Add(bytes)
+}
+
+// Volume reports cumulative transferred bytes and message counts. The
+// Raw fields are the logical (pre-compression) volume; they equal the
+// wire fields unless encoded payloads were in flight.
 type Volume struct {
-	IntraBytes, InterBytes int64
-	IntraMsgs, InterMsgs   int64
+	IntraBytes, InterBytes       int64
+	IntraMsgs, InterMsgs         int64
+	RawIntraBytes, RawInterBytes int64
 }
 
 // Volume returns the network's cumulative counters.
 func (n *Network) Volume() Volume {
 	return Volume{
-		IntraBytes: n.intraBytes.Load(),
-		InterBytes: n.interBytes.Load(),
-		IntraMsgs:  n.intraMsgs.Load(),
-		InterMsgs:  n.interMsgs.Load(),
+		IntraBytes:    n.intraBytes.Load(),
+		InterBytes:    n.interBytes.Load(),
+		IntraMsgs:     n.intraMsgs.Load(),
+		InterMsgs:     n.interMsgs.Load(),
+		RawIntraBytes: n.rawIntraBytes.Load(),
+		RawInterBytes: n.rawInterBytes.Load(),
 	}
 }
 
@@ -109,6 +133,8 @@ func (n *Network) ResetVolume() {
 	n.interBytes.Store(0)
 	n.intraMsgs.Store(0)
 	n.interMsgs.Store(0)
+	n.rawIntraBytes.Store(0)
+	n.rawInterBytes.Store(0)
 }
 
 // NodeBandwidthAt returns the aggregate node-to-node bandwidth achieved

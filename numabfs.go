@@ -10,7 +10,11 @@
 //   - node-shared in_queue / out_queue bitmaps that eliminate the
 //     intra-node steps of leader-based allgather;
 //   - the parallelized (per-socket subgroup) inter-node allgather;
-//   - tunable in_queue_summary granularity.
+//   - tunable in_queue_summary granularity;
+//
+// plus, as an extension, adaptive frontier compression of the
+// bottom-up allgather (dense/sparse/RLE wire formats chosen per
+// segment — OptCompressedAllgather).
 //
 // The algorithms run for real on real R-MAT graphs — results are
 // validated against the Graph500 specification — while time is virtual:
@@ -102,6 +106,9 @@ const (
 	OptShareAll = bfs.OptShareAll
 	// OptParAllgather adds the per-socket-subgroup parallel allgather.
 	OptParAllgather = bfs.OptParAllgather
+	// OptCompressedAllgather adds adaptive frontier compression
+	// (dense/sparse/RLE, chosen per segment) to the bottom-up allgather.
+	OptCompressedAllgather = bfs.OptCompressedAllgather
 )
 
 // Traversal algorithm modes.
