@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"numabfs/internal/experiments"
+	"numabfs/internal/fault"
 	"numabfs/internal/machine"
 	"numabfs/internal/obs"
 )
@@ -47,6 +48,7 @@ var drivers = []driver{
 	{"levels", experiments.LevelProfile},
 	{"2d", experiments.Ext2D},
 	{"compression", experiments.ExtCompression},
+	{"faults", experiments.ExtFaults},
 	{"abl-allgather", experiments.AblationAllgather},
 	{"abl-compression", experiments.AblationCompression},
 	{"abl-hybrid", experiments.AblationHybrid},
@@ -101,7 +103,7 @@ func unknownFigs(want []string) []string {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,compression,abl-allgather,abl-compression,abl-hybrid,all")
+	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,compression,faults,abl-allgather,abl-compression,abl-hybrid,all")
 	scale := flag.Int("scale", 16, "graph scale at one node (weak scaling adds log2(nodes))")
 	roots := flag.Int("roots", 8, "BFS roots per configuration (Graph500 uses 64)")
 	validate := flag.Bool("validate", false, "validate every BFS tree (slow)")
@@ -110,6 +112,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in chrome://tracing or Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the aggregated observability report (per-phase time, message counts by hop, barrier waits, critical path)")
 	benchJSON := flag.String("bench-json", "", "time each selected experiment and write a regression baseline (BENCH_<date>.json) to this file")
+	faultFile := flag.String("fault", "", "apply a deterministic fault plan (JSON, see internal/fault.Plan) to every run")
 	flag.Parse()
 
 	want := strings.Split(*fig, ",")
@@ -131,6 +134,19 @@ func main() {
 	}
 	if *traceOut != "" || *metrics {
 		spec.Obs = obs.NewRecorder()
+	}
+	if *faultFile != "" {
+		data, err := os.ReadFile(*faultFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: fault plan: %v\n", err)
+			os.Exit(1)
+		}
+		var plan fault.Plan
+		if err := json.Unmarshal(data, &plan); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: fault plan %s: %v\n", *faultFile, err)
+			os.Exit(1)
+		}
+		spec.Faults = &plan
 	}
 
 	match := func(key string) bool {

@@ -1,0 +1,209 @@
+package bfs
+
+import (
+	"fmt"
+
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/trace"
+)
+
+// This file implements level-boundary checkpointing for crash recovery
+// (internal/fault). At the bottom of every level of the lockstep loop —
+// after the allreduce that published the level's frontier and after any
+// mode switch — each rank snapshots the state a resume needs, keeping
+// the two newest generations. When a rank crash aborts the iteration,
+// RunRoot restores a generation every survivor is guaranteed to hold
+// and re-enters the level loop, charging the snapshot copies and the
+// rollback through the virtual clock like any other modelled work.
+//
+// Two generations are the minimum that survives the abort race: ranks
+// are released from a dying collective at arbitrary host moments, so a
+// rank may abort after the crashed rank saved generation L but before
+// saving its own. The crashed rank saving L proves every rank completed
+// the level-L allreduce, which each rank only reaches after saving L-1 —
+// so generation L-1 exists everywhere and is the recovery target. The
+// target is derived from the crashed rank alone (its history at the
+// deterministically-timed crash is deterministic), never from whichever
+// survivor the host scheduler happened to release first.
+
+// loopState is the lockstep control state of the level loop — the
+// allreduce-derived values every rank holds identical copies of. A
+// checkpoint embeds it so a restored rank re-enters the loop mid-flight.
+type loopState struct {
+	bottomUp bool
+	// nf and mf are the allreduced size and edge sum of the current
+	// frontier; visitedEdgesGlobal and prevNf drive the hybrid switch.
+	nf, mf             int64
+	visitedEdgesGlobal int64
+	prevNf             int64
+}
+
+// checkpoint is one rank's saved state at a level boundary.
+type checkpoint struct {
+	level int       // BFS level completed when this was saved
+	clock float64   // rank's virtual clock right after the save
+	st    loopState // lockstep control state
+
+	bd           trace.Breakdown
+	levelStats   []trace.LevelStat
+	parent       []int64
+	queue        []int64 // top-down frontier (empty in bottom-up mode)
+	visitedCount int64
+	visitedEdges int64
+
+	// inq/sum snapshot the frontier bitmaps, only in bottom-up mode and
+	// only on the rank that owns the copy (every rank below the sharing
+	// optimization level, the node leader above it). Top-down state
+	// needs neither: the queue and parents fully determine a resume.
+	inq []uint64
+	sum []uint64
+
+	// stable marks a generation every rank is known to hold — set when
+	// it has been a restore target. A crash before the next save then
+	// safely restores it again instead of reaching one level further
+	// back than anyone saved.
+	stable bool
+}
+
+// bytes is the snapshot's payload size (what the save models copying).
+func (ck *checkpoint) bytes() int64 {
+	b := int64(len(ck.parent))*8 + int64(len(ck.queue))*8 +
+		int64(len(ck.inq))*8 + int64(len(ck.sum))*8 +
+		int64(len(ck.levelStats))*48
+	return b
+}
+
+// saveCheckpoint snapshots the rank's state at the current level
+// boundary and charges the copy cost to the Ckpt phase. A no-op unless
+// the active fault plan schedules a crash (checkpointing has a modelled
+// cost; paying it without a threat would perturb every result).
+//
+// The generation swap happens before the cost is charged: if the crash
+// truncates the save itself, the crashed rank's newest generation
+// points at the level whose save it attempted, and the recovery target
+// (one level older) stays a generation everyone completed.
+func (rs *rankState) saveCheckpoint(p *mpi.Proc, st *loopState) {
+	r := rs.r
+	if !r.ckptOn {
+		return
+	}
+	t0 := p.Clock()
+	ck := &checkpoint{
+		level:        rs.levels,
+		st:           *st,
+		bd:           rs.bd,
+		levelStats:   append([]trace.LevelStat(nil), rs.levelStats...),
+		parent:       append([]int64(nil), rs.parent...),
+		queue:        append([]int64(nil), rs.queue...),
+		visitedCount: rs.visitedCount,
+		visitedEdges: rs.visitedEdges,
+	}
+	if st.bottomUp {
+		if r.Opts.Opt < OptShareInQueue || p.LocalRank() == 0 {
+			ck.inq = append([]uint64(nil), rs.inQ.Words()...)
+		}
+		if r.Opts.Opt < OptShareAll || p.LocalRank() == 0 {
+			ck.sum = append([]uint64(nil), rs.inSum.Bits().Words()...)
+		}
+	}
+	rs.ckptPrev, rs.ckptCur = rs.ckptCur, ck
+
+	// Read the live state, write the snapshot: 2x the payload through
+	// the rank's memory system.
+	p.Compute(rs.team.Parallel(machine.PhaseLoad{
+		SeqBytes: ck.bytes() * 2,
+		SeqLoc:   r.pl.PrivateLoc,
+	}))
+	rs.bd.Add(trace.Ckpt, p.Clock()-t0)
+	rs.rec.PhaseSpan(trace.Ckpt, rs.levels, t0, p.Clock())
+	ck.clock = p.Clock()
+	ck.bd = rs.bd
+}
+
+// recoveryTarget returns the level every rank can restore after `rank`
+// crashed, or -1 when the iteration must rerun from the root. Derived
+// from the crashed rank's generations only (see the file comment).
+func (r *Runner) recoveryTarget(rank int) int {
+	ck := r.states[rank].ckptCur
+	switch {
+	case ck == nil:
+		return -1
+	case ck.stable:
+		return ck.level
+	default:
+		return ck.level - 1
+	}
+}
+
+// restoreCheckpoint rolls the rank back to the generation at `target`
+// and returns the loop state to resume with; target < 0 clears the
+// generations and returns nil — the caller reruns the iteration from
+// the root. Either way the rank's clock resumes no earlier than floor
+// (crash time plus the modelled detection timeout): rolling back state
+// never rolls back time. The rollback copy and the re-synchronizing
+// barrier are charged to the Recovery phase.
+func (rs *rankState) restoreCheckpoint(p *mpi.Proc, target int, floor float64) *loopState {
+	r := rs.r
+	rs.rec = p.Obs()
+	if target < 0 {
+		rs.ckptCur, rs.ckptPrev = nil, nil
+		p.RestoreClock(floor)
+		// The rerun restarts at the detection-timeout floor: that dead
+		// time is the recovery cost. reset() is about to wipe bd, so the
+		// charge is parked and folded back in right after (initRoot).
+		rs.pendingRecoveryNs = floor
+		rs.rec.PhaseSpan(trace.Recovery, 0, 0, floor)
+		rs.rec.FaultEvent("recover", floor)
+		return nil
+	}
+	var ck *checkpoint
+	switch {
+	case rs.ckptCur != nil && rs.ckptCur.level == target:
+		ck = rs.ckptCur
+	case rs.ckptPrev != nil && rs.ckptPrev.level == target:
+		ck = rs.ckptPrev
+	default:
+		panic(fmt.Sprintf("bfs: rank %d has no checkpoint for level %d", p.Rank(), target))
+	}
+	ck.stable = true
+	rs.ckptCur, rs.ckptPrev = ck, nil
+
+	start := floor
+	if ck.clock > start {
+		start = ck.clock
+	}
+	p.RestoreClock(start)
+
+	// Roll the algorithm state back to the snapshot.
+	rs.bd = ck.bd
+	rs.levels = ck.level
+	rs.levelStats = append(rs.levelStats[:0], ck.levelStats...)
+	copy(rs.parent, ck.parent)
+	rs.queue = append(rs.queue[:0], ck.queue...)
+	rs.next = rs.next[:0]
+	rs.visitedCount = ck.visitedCount
+	rs.visitedEdges = ck.visitedEdges
+	if ck.inq != nil {
+		copy(rs.inQ.Words(), ck.inq)
+	}
+	if ck.sum != nil {
+		copy(rs.inSum.Bits().Words(), ck.sum)
+	}
+
+	// Charge the rollback copy, then barrier: ranks restoring shared
+	// bitmaps (the node leaders) must finish writing before anyone
+	// reads, and the loop resumes from synchronized clocks exactly as
+	// it left them.
+	p.Compute(rs.team.Parallel(machine.PhaseLoad{
+		SeqBytes: ck.bytes() * 2,
+		SeqLoc:   r.pl.PrivateLoc,
+	}))
+	p.Barrier()
+	rs.bd.Add(trace.Recovery, p.Clock()-start)
+	rs.rec.PhaseSpan(trace.Recovery, rs.levels, start, p.Clock())
+	rs.rec.FaultEvent("recover", p.Clock())
+
+	st := ck.st
+	return &st
+}

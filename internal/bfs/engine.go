@@ -5,6 +5,7 @@ import (
 
 	"numabfs/internal/bitmap"
 	"numabfs/internal/collective"
+	"numabfs/internal/fault"
 	"numabfs/internal/graph"
 	"numabfs/internal/machine"
 	"numabfs/internal/mpi"
@@ -45,6 +46,13 @@ type Runner struct {
 
 	// SetupNs is the virtual time of distributed construction.
 	SetupNs float64
+
+	// faults is the active fault plan (InjectFaults); ckptOn enables
+	// level-boundary checkpointing, only when the plan schedules a
+	// crash — checkpoint copies have a modelled cost, so paying them
+	// without a crash to survive would perturb every result.
+	faults fault.Plan
+	ckptOn bool
 }
 
 // rankState is the per-rank algorithm state.
@@ -81,6 +89,16 @@ type rankState struct {
 	// rec is the rank's observability stream (nil = tracing off; every
 	// method on a nil stream no-ops).
 	rec *obs.Rank
+
+	// ckptCur/ckptPrev are the two newest level-boundary checkpoint
+	// generations (internal/bfs/checkpoint.go); nil unless the active
+	// fault plan schedules a crash.
+	ckptCur  *checkpoint
+	ckptPrev *checkpoint
+
+	// pendingRecoveryNs carries the full-rerun recovery cost (the
+	// detection-timeout floor) across reset(), which wipes bd.
+	pendingRecoveryNs float64
 }
 
 // NewRunner builds a runner over cfg with the given placement policy.
@@ -124,6 +142,23 @@ func NewRunner(cfg machine.Config, policy machine.Policy, params rmat.Params, op
 	r.sumBytes = sumWords * 8
 	r.states = make([]*rankState, np)
 	return r, nil
+}
+
+// InjectFaults installs a deterministic fault plan (internal/fault) for
+// all subsequent RunRoot calls: bandwidth degradation, stragglers and
+// jitter perturb the modelled times; a scheduled rank crash additionally
+// turns on level-boundary checkpointing so the iteration recovers and
+// completes instead of panicking. Call after Setup — construction
+// (kernel 1) is not checkpointed, and the paper's perturbation study
+// targets the traversal. The machine's configured weak node persists
+// underneath the plan.
+func (r *Runner) InjectFaults(plan fault.Plan) error {
+	if err := r.W.InjectFaults(plan); err != nil {
+		return err
+	}
+	r.faults = plan
+	r.ckptOn = len(plan.Crashes) > 0
+	return nil
 }
 
 // AttachObs routes the runner's world through an observability session:
@@ -282,6 +317,13 @@ type RootResult struct {
 	// (segments per format, raw vs wire bytes); zero below
 	// OptCompressedAllgather.
 	Wire wire.Stats
+	// Faults lists the rank crashes this iteration survived via
+	// checkpoint recovery, in recovery order; empty when no crash fired.
+	// When non-empty, CommBytes/RawCommBytes and Wire include the lost
+	// attempts' partial traffic (those bytes really crossed the modelled
+	// network), so they — unlike TimeNs, TEPS, the parent trees and the
+	// Breakdown — are not bit-reproducible across host schedules.
+	Faults []*mpi.FaultError
 }
 
 // RunRoot runs one BFS from root and returns its result. Rank clocks are
@@ -292,15 +334,41 @@ func (r *Runner) RunRoot(root int64) RootResult {
 	}
 	r.W.ResetClocks()
 	for _, rs := range r.states {
+		rs.ckptCur, rs.ckptPrev = nil, nil
+		rs.pendingRecoveryNs = 0
 		if rs.inqCodec != nil {
 			rs.inqCodec.ResetStats()
 			rs.sumCodec.ResetStats()
 		}
 	}
-	r.W.Run(func(p *mpi.Proc) {
+	var faults []*mpi.FaultError
+	err := r.W.TryRun(func(p *mpi.Proc) {
 		r.states[p.Rank()].runBFS(p, root)
 	})
-	res := RootResult{Root: root, TimeNs: r.W.MaxClock()}
+	for attempt := 0; err != nil; attempt++ {
+		f, ok := err.(*mpi.FaultError)
+		if !ok || !r.ckptOn || attempt >= len(r.faults.Crashes) {
+			// A programming bug, or more failures than the plan can
+			// produce — not a recoverable modelled fault.
+			panic(err)
+		}
+		faults = append(faults, f)
+		r.W.Injector().Disarm(f.Rank, f.AtNs)
+		target := r.recoveryTarget(f.Rank)
+		floor := f.AtNs + r.W.Injector().DetectTimeoutNs()
+		r.W.PrepareRecovery()
+		err = r.W.TryRun(func(p *mpi.Proc) {
+			rs := r.states[p.Rank()]
+			if st := rs.restoreCheckpoint(p, target, floor); st != nil {
+				rs.levelLoop(p, st)
+			} else {
+				// Crash predates the first checkpoint: rerun the
+				// iteration from the root (clocks stay past the crash).
+				rs.runBFS(p, root)
+			}
+		})
+	}
+	res := RootResult{Root: root, TimeNs: r.W.MaxClock(), Faults: faults}
 	var bd trace.Breakdown
 	for _, rs := range r.states {
 		res.TraversedEdges += rs.visitedEdges

@@ -10,11 +10,27 @@ import (
 // termination) is derived from allreduced values, so the collective call
 // pattern is identical across ranks by construction.
 func (rs *rankState) runBFS(p *mpi.Proc, root int64) {
+	rs.levelLoop(p, rs.initRoot(p, root))
+}
+
+// initRoot resets per-root state, seeds the root frontier and performs
+// the initial allreduce and mode setup, returning the loop state the
+// level loop starts from. Under an active crash plan the post-setup
+// state is also checkpointed, so a crash in the first level need not
+// repeat the initial conversion.
+func (rs *rankState) initRoot(p *mpi.Proc, root int64) *loopState {
 	r := rs.r
 	rs.reset()
 	rs.rec = p.Obs()
+	if rs.pendingRecoveryNs > 0 {
+		// Full-rerun crash recovery: attribute the detection-timeout
+		// floor the clocks restarted from (restoreCheckpoint parked it
+		// because reset just wiped bd).
+		rs.bd.Add(trace.Recovery, rs.pendingRecoveryNs)
+		rs.pendingRecoveryNs = 0
+	}
 
-	lo, _ := rs.csr.Lo, rs.csr.Hi
+	lo := rs.csr.Lo
 	nfLocal, mfLocal := int64(0), int64(0)
 	if r.Part.Owner(root) == p.Rank() {
 		rs.parent[root-lo] = root
@@ -29,64 +45,73 @@ func (rs *rankState) runBFS(p *mpi.Proc, root int64) {
 	nf := r.AllGroup.AllreduceSumInt64(p, nfLocal)
 	mf := r.AllGroup.AllreduceSumInt64(p, mfLocal)
 	rs.charge(trace.TDComm, t0, p.Clock())
-	visitedEdgesGlobal := mf
-	totalEdges := r.totalEdges
 
-	bottomUp := r.Opts.Mode == ModeBottomUp
-	if bottomUp {
+	st := &loopState{
+		bottomUp:           r.Opts.Mode == ModeBottomUp,
+		nf:                 nf,
+		mf:                 mf,
+		visitedEdgesGlobal: mf,
+		prevNf:             nf,
+	}
+	if st.bottomUp {
 		// Pure bottom-up starts by converting the root frontier.
 		rs.switchToBottomUp(p)
 	} else {
 		rs.promoteNext()
 	}
+	rs.saveCheckpoint(p, st)
+	return st
+}
 
-	prevNf := nf
-	for nf > 0 {
+// levelLoop runs the lockstep level loop from st until the frontier
+// empties. Crash recovery re-enters here with a restored loop state.
+func (rs *rankState) levelLoop(p *mpi.Proc, st *loopState) {
+	r := rs.r
+	for st.nf > 0 {
 		rs.levels++
 		levelStart := p.Clock()
 		var dnf, dmf int64
-		if bottomUp {
+		if st.bottomUp {
 			dnf, dmf = rs.bottomUpLevel(p)
 			rs.bd.BULevels++
 		} else {
 			dnf, dmf = rs.topDownLevel(p)
 			rs.bd.TDLevels++
 		}
-		nf, mf = dnf, dmf
-		visitedEdgesGlobal += dmf
+		st.nf, st.mf = dnf, dmf
+		st.visitedEdgesGlobal += dmf
 		rs.levelStats = append(rs.levelStats, trace.LevelStat{
-			Level: rs.levels, BottomUp: bottomUp, NF: nf, MF: mf,
+			Level: rs.levels, BottomUp: st.bottomUp, NF: st.nf, MF: st.mf,
 			Ns: p.Clock() - levelStart,
 		})
-		rs.rec.LevelSpan(bottomUp, rs.levels, levelStart, p.Clock())
-		if nf == 0 {
+		rs.rec.LevelSpan(st.bottomUp, rs.levels, levelStart, p.Clock())
+		if st.nf == 0 {
 			break
 		}
-		if r.Opts.Mode != ModeHybrid {
-			if bottomUp {
-				// Pure bottom-up: the new frontier is already in in_queue.
-				continue
+		switch {
+		case r.Opts.Mode != ModeHybrid:
+			// Pure bottom-up: the new frontier is already in in_queue.
+			if !st.bottomUp {
+				rs.promoteNext()
 			}
-			rs.promoteNext()
-			continue
-		}
-		// Hybrid switching, Beamer-style. Top-down only hands over to
-		// bottom-up while the frontier is still growing — in the final
-		// shrinking levels the unexplored-edge count is tiny and the
-		// threshold would otherwise flap back and forth.
-		if !bottomUp {
-			unexplored := totalEdges - visitedEdgesGlobal
-			if nf > prevNf && float64(mf) > float64(unexplored)/r.Opts.Alpha {
+		case !st.bottomUp:
+			// Hybrid switching, Beamer-style. Top-down only hands over
+			// to bottom-up while the frontier is still growing — in the
+			// final shrinking levels the unexplored-edge count is tiny
+			// and the threshold would otherwise flap back and forth.
+			unexplored := r.totalEdges - st.visitedEdgesGlobal
+			if st.nf > st.prevNf && float64(st.mf) > float64(unexplored)/r.Opts.Alpha {
 				rs.switchToBottomUp(p)
-				bottomUp = true
+				st.bottomUp = true
 			} else {
 				rs.promoteNext()
 			}
-		} else if float64(nf) < float64(r.Params.NumVertices())/r.Opts.Beta {
+		case float64(st.nf) < float64(r.Params.NumVertices())/r.Opts.Beta:
 			rs.switchToTopDown(p)
-			bottomUp = false
+			st.bottomUp = false
 		}
-		prevNf = nf
+		st.prevNf = st.nf
+		rs.saveCheckpoint(p, st)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"numabfs/internal/bfs"
+	"numabfs/internal/fault"
 	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
 	"numabfs/internal/obs"
@@ -41,6 +42,11 @@ type Spec struct {
 	// driver runs into its own labeled session (span timelines, comm
 	// counters) for Chrome-trace export and the metrics report.
 	Obs *obs.Recorder
+	// Faults, when non-nil, applies a deterministic fault plan
+	// (internal/fault) to every configuration the driver runs — the
+	// bfsbench -fault flag. ExtFaults builds its own plans and ignores
+	// this field.
+	Faults *fault.Plan
 }
 
 // Quick returns a spec small enough for unit tests.
@@ -80,6 +86,7 @@ func (s Spec) run(nodes int, policy machine.Policy, opts bfs.Options) (*graph500
 		NumRoots: s.Roots,
 		Validate: s.Validate,
 		Obs:      s.Obs,
+		Faults:   s.Faults,
 	})
 }
 

@@ -254,3 +254,37 @@ func TestFig12CommGrowsWithNodes(t *testing.T) {
 		}
 	}
 }
+
+func TestExtFaultsShape(t *testing.T) {
+	tab, err := ExtFaults(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 degradation rows (the cumulative optimization levels) + crash row.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	for _, r := range tab.Rows[:5] {
+		if r.Values[0] != 1 {
+			t.Errorf("%s: baseline column %g, want exactly 1 (self-relative)", r.Label, r.Values[0])
+		}
+		for i, v := range r.Values {
+			if v <= 0 || v > 1.0001 {
+				t.Errorf("%s col %d: retained fraction %g outside (0, 1]", r.Label, i, v)
+			}
+		}
+		// Harsher degradation must never help.
+		for i := 1; i < len(r.Values); i++ {
+			if r.Values[i] > r.Values[i-1]*1.0001 {
+				t.Errorf("%s: retained fraction rose under harsher degradation: %v", r.Label, r.Values)
+			}
+		}
+	}
+	crash := tab.Rows[5]
+	if !strings.Contains(crash.Label, "crash") {
+		t.Fatalf("last row %q is not the crash row", crash.Label)
+	}
+	if v := crash.Values[0]; v <= 0 || v >= 1 {
+		t.Errorf("crash row retained %g, want in (0, 1): recovery costs time but completes", v)
+	}
+}

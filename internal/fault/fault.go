@@ -1,0 +1,331 @@
+// Package fault defines deterministic fault-injection plans for the
+// simulated NUMA cluster: scheduled bandwidth degradation of nodes or
+// individual links (including transient NIC brown-outs), straggler
+// ranks whose computation runs slow by a constant factor, per-message
+// latency jitter, and rank crashes at a chosen virtual time.
+//
+// A Plan is pure data — JSON-serializable so cmd/bfsbench can load one
+// from a file — and everything it injects is a function of the plan, its
+// seed, and virtual time only. Two runs of the same workload under the
+// same plan produce bit-identical virtual-time results regardless of
+// host scheduling or core count, exactly like the unperturbed simulator.
+// An empty plan is guaranteed to be a no-op: every hook short-circuits
+// before touching a float, so results are bit-identical to a build
+// without injection support.
+//
+// The paper's one "ill-performing node" (Config.WeakNode, excluded from
+// Figs. 13-14 in the original evaluation) is the degenerate case: a
+// single permanent node-scoped bandwidth event, see WeakNode.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"numabfs/internal/xrand"
+)
+
+// DefaultDetectTimeoutNs is the modelled failure-detection latency
+// charged before a crash recovery begins when the plan does not set one:
+// the time between a rank dying and the survivors observing the loss
+// (MPI implementations detect peer death through transport timeouts).
+const DefaultDetectTimeoutNs = 1e6
+
+// BWEvent degrades bandwidth on part of the interconnect during a
+// virtual-time window. Node-scoped events (Node >= 0) affect every
+// inter-node transfer with an endpoint on that node — the weak-node /
+// NIC-brown-out shape; link-scoped events (Node < 0) match transfers
+// from Src to Dst, either of which may be -1 for "any". Intra-node
+// (shared-memory) traffic is never affected: the faults modelled here
+// live on the network path. Overlapping active events multiply.
+type BWEvent struct {
+	Node    int     `json:"node"`              // >= 0: either endpoint on this node
+	Src     int     `json:"src"`               // link scope when Node < 0; -1 = any
+	Dst     int     `json:"dst"`               // link scope when Node < 0; -1 = any
+	Factor  float64 `json:"factor"`            // bandwidth multiplier in (0, 1]
+	FromNs  float64 `json:"from_ns"`           // window start (virtual ns)
+	UntilNs float64 `json:"until_ns,omitempty"` // window end; <= 0 means forever
+}
+
+// active reports whether the event applies to a transfer from srcNode to
+// dstNode beginning at virtual time `at`.
+func (e *BWEvent) active(srcNode, dstNode int, at float64) bool {
+	if at < e.FromNs || (e.UntilNs > 0 && at >= e.UntilNs) {
+		return false
+	}
+	if e.Node >= 0 {
+		return srcNode == e.Node || dstNode == e.Node
+	}
+	return (e.Src < 0 || e.Src == srcNode) && (e.Dst < 0 || e.Dst == dstNode)
+}
+
+// Straggler multiplies one rank's computation cost: every Proc.Compute
+// charge on that rank is scaled by Factor (> 1 slows the rank down).
+// Multiple entries for one rank multiply.
+type Straggler struct {
+	Rank   int     `json:"rank"`
+	Factor float64 `json:"factor"`
+}
+
+// Crash kills a rank at a virtual time: the rank dies at the first
+// operation boundary where its clock reaches AtNs (a long computation
+// crossing AtNs is truncated at it). The job aborts with a structured
+// *Error instead of an opaque panic, and a checkpointing caller can
+// recover and resume.
+type Crash struct {
+	Rank int     `json:"rank"`
+	AtNs float64 `json:"at_ns"`
+}
+
+// Plan is one deterministic perturbation schedule. The zero Plan
+// injects nothing.
+type Plan struct {
+	// Seed drives the jitter hash; unrelated to graph-generation seeds.
+	Seed uint64 `json:"seed,omitempty"`
+
+	BW         []BWEvent   `json:"bw,omitempty"`
+	Stragglers []Straggler `json:"stragglers,omitempty"`
+
+	// JitterMaxNs adds a deterministic pseudo-random latency in
+	// [0, JitterMaxNs) to every point-to-point message, drawn by hashing
+	// the message identity with Seed.
+	JitterMaxNs float64 `json:"jitter_max_ns,omitempty"`
+
+	Crashes []Crash `json:"crashes,omitempty"`
+
+	// DetectTimeoutNs overrides DefaultDetectTimeoutNs for crash
+	// recovery; 0 keeps the default.
+	DetectTimeoutNs float64 `json:"detect_timeout_ns,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p Plan) Empty() bool {
+	return len(p.BW) == 0 && len(p.Stragglers) == 0 &&
+		p.JitterMaxNs == 0 && len(p.Crashes) == 0
+}
+
+// Validate checks the plan against a world of `ranks` ranks. Bandwidth
+// factors outside (0, 1] are rejected here — never silently clamped —
+// so a typo like 80 instead of 0.8 fails loudly instead of disabling
+// the event. Node indices beyond the configured cluster are allowed
+// (a 16-node plan applied to a 4-node run simply never matches, the
+// historical WeakNode semantics); rank-scoped entries must name real
+// ranks because they index per-rank state.
+func (p Plan) Validate(ranks int) error {
+	for i, e := range p.BW {
+		if e.Factor <= 0 || e.Factor > 1 {
+			return fmt.Errorf("fault: bw event %d: factor %g outside (0, 1]", i, e.Factor)
+		}
+		if e.FromNs < 0 {
+			return fmt.Errorf("fault: bw event %d: negative start %g", i, e.FromNs)
+		}
+		if e.UntilNs > 0 && e.UntilNs <= e.FromNs {
+			return fmt.Errorf("fault: bw event %d: window [%g, %g) is empty", i, e.FromNs, e.UntilNs)
+		}
+	}
+	for i, s := range p.Stragglers {
+		if s.Factor <= 0 {
+			return fmt.Errorf("fault: straggler %d: factor %g must be positive", i, s.Factor)
+		}
+		if s.Rank < 0 || s.Rank >= ranks {
+			return fmt.Errorf("fault: straggler %d: rank %d outside [0, %d)", i, s.Rank, ranks)
+		}
+	}
+	if p.JitterMaxNs < 0 {
+		return fmt.Errorf("fault: negative JitterMaxNs %g", p.JitterMaxNs)
+	}
+	for i, c := range p.Crashes {
+		if c.Rank < 0 || c.Rank >= ranks {
+			return fmt.Errorf("fault: crash %d: rank %d outside [0, %d)", i, c.Rank, ranks)
+		}
+		if c.AtNs < 0 {
+			return fmt.Errorf("fault: crash %d: negative time %g", i, c.AtNs)
+		}
+	}
+	if p.DetectTimeoutNs < 0 {
+		return fmt.Errorf("fault: negative DetectTimeoutNs %g", p.DetectTimeoutNs)
+	}
+	return nil
+}
+
+// Merge returns the union of p and o: concatenated event lists, o's
+// seed and detection timeout when set, and the larger jitter bound.
+func (p Plan) Merge(o Plan) Plan {
+	m := Plan{
+		Seed:            p.Seed,
+		BW:              append(append([]BWEvent(nil), p.BW...), o.BW...),
+		Stragglers:      append(append([]Straggler(nil), p.Stragglers...), o.Stragglers...),
+		JitterMaxNs:     math.Max(p.JitterMaxNs, o.JitterMaxNs),
+		Crashes:         append(append([]Crash(nil), p.Crashes...), o.Crashes...),
+		DetectTimeoutNs: p.DetectTimeoutNs,
+	}
+	if o.Seed != 0 {
+		m.Seed = o.Seed
+	}
+	if o.DetectTimeoutNs > 0 {
+		m.DetectTimeoutNs = o.DetectTimeoutNs
+	}
+	return m
+}
+
+// WeakNode returns the plan equivalent of machine.Config's WeakNode
+// field: every inter-node transfer touching the node runs at factor of
+// normal bandwidth, permanently. A negative node returns the empty
+// plan, matching the config's -1-disables convention.
+func WeakNode(node int, factor float64) Plan {
+	if node < 0 {
+		return Plan{}
+	}
+	return Plan{BW: []BWEvent{{Node: node, Src: -1, Dst: -1, Factor: factor}}}
+}
+
+// Error is the structured failure a crash injection produces — the
+// replacement for an opaque abort panic, so callers can tell a modelled
+// fault from a programming bug and decide to recover.
+type Error struct {
+	Rank int     // the crashed rank
+	AtNs float64 // the crash's scheduled virtual time (from the Plan)
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: rank %d crashed at %.0f virtual ns", e.Rank, e.AtNs)
+}
+
+// crashEvent is one scheduled crash with its armed state: disarmed
+// events (already recovered from) never fire again.
+type crashEvent struct {
+	at    float64
+	armed bool
+}
+
+// Injector is a Plan compiled for one world. All query methods are safe
+// on a nil receiver (returning the identity), cheap when the relevant
+// perturbation is absent, and read-only during a run — the only
+// mutation, Disarm, happens between recovery attempts when no rank
+// goroutine is live.
+type Injector struct {
+	plan      Plan
+	scale     []float64      // per-rank compute multiplier; nil without stragglers
+	crashes   [][]crashEvent // per-rank schedule, ascending; nil without crashes
+	jitterMax float64
+	seed      uint64
+}
+
+// NewInjector compiles plan for a world of `ranks` ranks. Plans without
+// rank-scoped entries (stragglers, crashes) may pass ranks == 0.
+func NewInjector(plan Plan, ranks int) (*Injector, error) {
+	if err := plan.Validate(ranks); err != nil {
+		return nil, err
+	}
+	in := &Injector{plan: plan, jitterMax: plan.JitterMaxNs, seed: plan.Seed}
+	if len(plan.Stragglers) > 0 {
+		in.scale = make([]float64, ranks)
+		for i := range in.scale {
+			in.scale[i] = 1
+		}
+		for _, s := range plan.Stragglers {
+			in.scale[s.Rank] *= s.Factor
+		}
+	}
+	if len(plan.Crashes) > 0 {
+		in.crashes = make([][]crashEvent, ranks)
+		for _, c := range plan.Crashes {
+			in.crashes[c.Rank] = append(in.crashes[c.Rank], crashEvent{at: c.AtNs, armed: true})
+		}
+		for r := range in.crashes {
+			evs := in.crashes[r]
+			sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+		}
+	}
+	return in, nil
+}
+
+// Plan returns the compiled plan.
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// DetectTimeoutNs returns the plan's crash-detection latency, or the
+// default.
+func (in *Injector) DetectTimeoutNs() float64 {
+	if in == nil || in.plan.DetectTimeoutNs <= 0 {
+		return DefaultDetectTimeoutNs
+	}
+	return in.plan.DetectTimeoutNs
+}
+
+// LinkFactor returns the bandwidth multiplier for an inter-node
+// transfer from srcNode to dstNode beginning at virtual time `at`: the
+// product of all matching active events, or exactly 1 when none match.
+func (in *Injector) LinkFactor(srcNode, dstNode int, at float64) float64 {
+	if in == nil || len(in.plan.BW) == 0 {
+		return 1
+	}
+	f := 1.0
+	for i := range in.plan.BW {
+		if in.plan.BW[i].active(srcNode, dstNode, at) {
+			f *= in.plan.BW[i].Factor
+		}
+	}
+	return f
+}
+
+// ComputeScale returns the rank's computation-cost multiplier (exactly
+// 1 for non-stragglers).
+func (in *Injector) ComputeScale(rank int) float64 {
+	if in == nil || in.scale == nil {
+		return 1
+	}
+	return in.scale[rank]
+}
+
+// JitterNs returns the deterministic latency jitter of one message,
+// uniform in [0, JitterMaxNs), or exactly 0 when jitter is off. The
+// draw hashes the message identity (endpoints, sender post time, size)
+// with the plan seed rather than consuming a stateful stream, so it
+// depends only on virtual time — never on delivery order or on how far
+// an aborted attempt got before a crash recovery.
+func (in *Injector) JitterNs(src, dst int, sentNs float64, bytes int64) float64 {
+	if in == nil || in.jitterMax <= 0 {
+		return 0
+	}
+	h := in.seed
+	h ^= uint64(src)*0x9e3779b97f4a7c15 + uint64(dst)*0xbf58476d1ce4e5b9
+	h ^= math.Float64bits(sentNs) + uint64(bytes)
+	u := xrand.NewSplitMix64(h).Uint64()
+	return in.jitterMax * (float64(u>>11) / (1 << 53))
+}
+
+// NextCrash returns the virtual time of the earliest still-armed crash
+// scheduled for rank, if any.
+func (in *Injector) NextCrash(rank int) (float64, bool) {
+	if in == nil || in.crashes == nil || rank >= len(in.crashes) {
+		return 0, false
+	}
+	for i := range in.crashes[rank] {
+		if in.crashes[rank][i].armed {
+			return in.crashes[rank][i].at, true
+		}
+	}
+	return 0, false
+}
+
+// Disarm retires the crash scheduled for rank at `at` so a recovered
+// run does not die to the same event again. Call only between runs (no
+// rank goroutines live).
+func (in *Injector) Disarm(rank int, at float64) {
+	if in == nil || in.crashes == nil || rank >= len(in.crashes) {
+		return
+	}
+	for i := range in.crashes[rank] {
+		if in.crashes[rank][i].armed && in.crashes[rank][i].at == at {
+			in.crashes[rank][i].armed = false
+			return
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package fault
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestPlanEmpty(t *testing.T) {
+	if !(Plan{}).Empty() {
+		t.Error("zero Plan not Empty")
+	}
+	if !(Plan{Seed: 7}).Empty() {
+		t.Error("seed alone should not make a plan non-empty")
+	}
+	cases := []Plan{
+		{BW: []BWEvent{{Node: 0, Factor: 0.5}}},
+		{Stragglers: []Straggler{{Rank: 0, Factor: 2}}},
+		{JitterMaxNs: 10},
+		{Crashes: []Crash{{Rank: 0, AtNs: 1}}},
+	}
+	for i, p := range cases {
+		if p.Empty() {
+			t.Errorf("case %d: plan reported Empty", i)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{BW: []BWEvent{{Node: 0, Factor: 0}}},
+		{BW: []BWEvent{{Node: 0, Factor: 1.5}}},          // the 80-for-0.8 typo class
+		{BW: []BWEvent{{Node: 0, Factor: 0.5, FromNs: -1}}},
+		{BW: []BWEvent{{Node: 0, Factor: 0.5, FromNs: 5, UntilNs: 5}}},
+		{Stragglers: []Straggler{{Rank: 0, Factor: 0}}},
+		{Stragglers: []Straggler{{Rank: 4, Factor: 2}}},
+		{Stragglers: []Straggler{{Rank: -1, Factor: 2}}},
+		{JitterMaxNs: -1},
+		{Crashes: []Crash{{Rank: 4, AtNs: 1}}},
+		{Crashes: []Crash{{Rank: 0, AtNs: -1}}},
+		{DetectTimeoutNs: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("bad plan %d validated: %+v", i, p)
+		}
+	}
+	good := Plan{
+		Seed:            1,
+		BW:              []BWEvent{{Node: 99, Src: -1, Dst: -1, Factor: 0.5}}, // out-of-cluster node never matches, like WeakNode on small runs
+		Stragglers:      []Straggler{{Rank: 3, Factor: 4}},
+		JitterMaxNs:     50,
+		Crashes:         []Crash{{Rank: 0, AtNs: 1e6}},
+		DetectTimeoutNs: 100,
+	}
+	if err := good.Validate(4); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestWeakNodePlan(t *testing.T) {
+	if !WeakNode(-1, 0.8).Empty() {
+		t.Error("WeakNode(-1) should be empty")
+	}
+	p := WeakNode(2, 0.5)
+	in, err := NewInjector(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := in.LinkFactor(2, 0, 0); f != 0.5 {
+		t.Errorf("src weak: factor %g, want 0.5", f)
+	}
+	if f := in.LinkFactor(0, 2, 1e12); f != 0.5 {
+		t.Errorf("dst weak, forever: factor %g, want 0.5", f)
+	}
+	if f := in.LinkFactor(0, 1, 0); f != 1 {
+		t.Errorf("unrelated link: factor %g, want exactly 1", f)
+	}
+}
+
+func TestLinkFactorWindowsAndScope(t *testing.T) {
+	p := Plan{BW: []BWEvent{
+		{Node: 1, Src: -1, Dst: -1, Factor: 0.5, FromNs: 100, UntilNs: 200}, // brown-out
+		{Node: -1, Src: 0, Dst: 2, Factor: 0.25},                           // directed link, forever
+	}}
+	in, err := NewInjector(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := in.LinkFactor(1, 0, 50); f != 1 {
+		t.Errorf("before window: %g", f)
+	}
+	if f := in.LinkFactor(1, 0, 100); f != 0.5 {
+		t.Errorf("window start inclusive: %g", f)
+	}
+	if f := in.LinkFactor(0, 1, 199); f != 0.5 {
+		t.Errorf("inside window (either endpoint): %g", f)
+	}
+	if f := in.LinkFactor(1, 0, 200); f != 1 {
+		t.Errorf("window end exclusive: %g", f)
+	}
+	if f := in.LinkFactor(0, 2, 1e9); f != 0.25 {
+		t.Errorf("directed link: %g", f)
+	}
+	if f := in.LinkFactor(2, 0, 1e9); f != 1 {
+		t.Errorf("reverse of directed link: %g", f)
+	}
+	// src=1 dst=2 matches the node-1 brown-out but not the 0->2 link
+	// event: only the brown-out applies.
+	if f := in.LinkFactor(1, 2, 150); f != 0.5 {
+		t.Errorf("endpoint-1 transfer at 150: %g, want 0.5", f)
+	}
+	p2 := Plan{BW: []BWEvent{
+		{Node: 0, Src: -1, Dst: -1, Factor: 0.5},
+		{Node: -1, Src: 0, Dst: 1, Factor: 0.5},
+	}}
+	in2, err := NewInjector(p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := in2.LinkFactor(0, 1, 0); f != 0.25 {
+		t.Errorf("overlapping events should multiply: %g, want 0.25", f)
+	}
+}
+
+func TestComputeScale(t *testing.T) {
+	p := Plan{Stragglers: []Straggler{{Rank: 1, Factor: 2}, {Rank: 1, Factor: 3}}}
+	in, err := NewInjector(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := in.ComputeScale(0); s != 1 {
+		t.Errorf("rank 0 scale %g, want exactly 1", s)
+	}
+	if s := in.ComputeScale(1); s != 6 {
+		t.Errorf("rank 1 scale %g, want 6 (entries multiply)", s)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 42, JitterMaxNs: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	distinct := false
+	for i := 0; i < 1000; i++ {
+		sent := float64(i) * 17.5
+		j := in.JitterNs(1, 2, sent, int64(i))
+		if j < 0 || j >= 100 {
+			t.Fatalf("jitter %g outside [0, 100)", j)
+		}
+		if j2 := in.JitterNs(1, 2, sent, int64(i)); j2 != j {
+			t.Fatalf("jitter not deterministic: %g then %g", j, j2)
+		}
+		if i > 0 && j != prev {
+			distinct = true
+		}
+		prev = j
+	}
+	if !distinct {
+		t.Error("jitter constant across messages")
+	}
+	// A different seed gives a different draw for the same message.
+	in2, _ := NewInjector(Plan{Seed: 43, JitterMaxNs: 100}, 0)
+	if in.JitterNs(1, 2, 17.5, 1) == in2.JitterNs(1, 2, 17.5, 1) {
+		t.Error("seed does not drive the jitter hash")
+	}
+}
+
+func TestJitterOffIsExactlyZero(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 42}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := in.JitterNs(0, 1, 123.4, 5); j != 0 {
+		t.Errorf("jitter with JitterMaxNs=0: %g, want exactly 0", j)
+	}
+	var nilInj *Injector
+	if nilInj.JitterNs(0, 1, 1, 1) != 0 || nilInj.LinkFactor(0, 1, 0) != 1 || nilInj.ComputeScale(0) != 1 {
+		t.Error("nil injector must be the identity")
+	}
+}
+
+func TestCrashScheduleAndDisarm(t *testing.T) {
+	p := Plan{Crashes: []Crash{{Rank: 2, AtNs: 500}, {Rank: 2, AtNs: 100}}}
+	in, err := NewInjector(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := in.NextCrash(0); ok {
+		t.Error("rank 0 has no crash scheduled")
+	}
+	at, ok := in.NextCrash(2)
+	if !ok || at != 100 {
+		t.Errorf("NextCrash(2) = %g, %v; want 100, true (sorted ascending)", at, ok)
+	}
+	in.Disarm(2, 100)
+	at, ok = in.NextCrash(2)
+	if !ok || at != 500 {
+		t.Errorf("after disarm: NextCrash(2) = %g, %v; want 500, true", at, ok)
+	}
+	in.Disarm(2, 500)
+	if _, ok := in.NextCrash(2); ok {
+		t.Error("all crashes disarmed but NextCrash still fires")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Plan{Seed: 1, BW: []BWEvent{{Node: 0, Factor: 0.5}}, JitterMaxNs: 10}
+	b := Plan{Seed: 2, Stragglers: []Straggler{{Rank: 0, Factor: 2}}, JitterMaxNs: 5, DetectTimeoutNs: 99}
+	m := a.Merge(b)
+	if m.Seed != 2 {
+		t.Errorf("Seed = %d, want o's 2", m.Seed)
+	}
+	if len(m.BW) != 1 || len(m.Stragglers) != 1 {
+		t.Errorf("merged lists: %d bw, %d stragglers", len(m.BW), len(m.Stragglers))
+	}
+	if m.JitterMaxNs != 10 {
+		t.Errorf("JitterMaxNs = %g, want max 10", m.JitterMaxNs)
+	}
+	if m.DetectTimeoutNs != 99 {
+		t.Errorf("DetectTimeoutNs = %g, want 99", m.DetectTimeoutNs)
+	}
+	// Merge does not alias the inputs.
+	m.BW[0].Factor = 0.9
+	if a.BW[0].Factor != 0.5 {
+		t.Error("Merge aliased the receiver's BW slice")
+	}
+}
+
+func TestDetectTimeoutDefault(t *testing.T) {
+	in, _ := NewInjector(Plan{}, 0)
+	if in.DetectTimeoutNs() != DefaultDetectTimeoutNs {
+		t.Errorf("default detect timeout = %g", in.DetectTimeoutNs())
+	}
+	in2, _ := NewInjector(Plan{DetectTimeoutNs: 5}, 0)
+	if in2.DetectTimeoutNs() != 5 {
+		t.Errorf("plan detect timeout = %g, want 5", in2.DetectTimeoutNs())
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := Plan{
+		Seed:        9,
+		BW:          []BWEvent{{Node: 3, Src: -1, Dst: -1, Factor: 0.8, FromNs: 10, UntilNs: 20}},
+		Stragglers:  []Straggler{{Rank: 1, Factor: 1.5}},
+		JitterMaxNs: 25,
+		Crashes:     []Crash{{Rank: 0, AtNs: 1e6}},
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Plan
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Seed != p.Seed || len(q.BW) != 1 || q.BW[0] != p.BW[0] ||
+		len(q.Stragglers) != 1 || q.Stragglers[0] != p.Stragglers[0] ||
+		q.JitterMaxNs != p.JitterMaxNs || len(q.Crashes) != 1 || q.Crashes[0] != p.Crashes[0] {
+		t.Errorf("round trip lost data: %+v -> %s -> %+v", p, data, q)
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	e := &Error{Rank: 3, AtNs: 1.5e6}
+	if e.Error() == "" || math.IsNaN(e.AtNs) {
+		t.Error("empty error message")
+	}
+}

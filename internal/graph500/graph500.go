@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"numabfs/internal/bfs"
+	"numabfs/internal/fault"
 	"numabfs/internal/machine"
 	"numabfs/internal/obs"
 	"numabfs/internal/rmat"
@@ -33,6 +34,12 @@ type Config struct {
 	// the recorder: per-rank span timelines, collective spans, and
 	// communication counters. Tracing never changes results.
 	Obs *obs.Recorder
+
+	// Faults, when non-nil, is the deterministic perturbation plan
+	// (internal/fault) applied to every BFS iteration: degraded links,
+	// stragglers, jitter, and rank crashes survived through checkpoint
+	// recovery. Construction (kernel 1) runs unperturbed.
+	Faults *fault.Plan
 }
 
 // Result aggregates a benchmark run.
@@ -48,6 +55,9 @@ type Result struct {
 	// Breakdown is the per-phase time averaged over roots and ranks —
 	// the quantity Figs. 11-14 report.
 	Breakdown trace.Breakdown
+	// Faults is the total number of rank crashes survived via checkpoint
+	// recovery across all roots.
+	Faults int
 }
 
 // Run executes the benchmark.
@@ -66,6 +76,11 @@ func Run(cfg Config) (*Result, error) {
 		runner.AttachObs(cfg.Obs.NewSession(label))
 	}
 	runner.Setup()
+	if cfg.Faults != nil {
+		if err := runner.InjectFaults(*cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
 	roots := cfg.Params.Roots(cfg.NumRoots, runner.HasEdgeGlobal)
 
 	res := &Result{Config: cfg, SetupNs: runner.SetupNs}
@@ -79,6 +94,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		res.PerRoot = append(res.PerRoot, rr)
+		res.Faults += len(rr.Faults)
 		teps = append(teps, rr.TEPS)
 		times = append(times, rr.TimeNs)
 		res.Breakdown.Merge(rr.Breakdown)

@@ -198,6 +198,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: MLP must be positive")
 	case c.IBPorts < 1:
 		return fmt.Errorf("machine: IBPorts = %d, need >= 1", c.IBPorts)
+	case c.WeakNode >= 0 && (c.WeakNodeBWFactor <= 0 || c.WeakNodeBWFactor > 1):
+		// Reject rather than clamp: a typo like 80 for 0.8 would
+		// otherwise silently disable the weak node.
+		return fmt.Errorf("machine: WeakNodeBWFactor = %g, need in (0, 1] when WeakNode is set", c.WeakNodeBWFactor)
 	}
 	return nil
 }

@@ -35,6 +35,11 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *Config) { c.LocalMemNs = -5 },
 		func(c *Config) { c.MLP = 0 },
 		func(c *Config) { c.IBPorts = 0 },
+		// With a weak node set, its bandwidth factor must be a valid
+		// fraction — rejected here, never silently clamped downstream.
+		func(c *Config) { c.WeakNodeBWFactor = 0 },
+		func(c *Config) { c.WeakNodeBWFactor = -0.5 },
+		func(c *Config) { c.WeakNodeBWFactor = 1.5 },
 	}
 	for i, mod := range mods {
 		c := TableI()

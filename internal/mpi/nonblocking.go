@@ -27,6 +27,7 @@ func (p *Proc) Isend(dst, tag int, bytes int64, payload any, streams int) *Reque
 	if dst == p.rank {
 		panic(fmt.Sprintf("mpi: rank %d isend to self", p.rank))
 	}
+	p.checkCrash()
 	m := message{
 		src: p.rank, tag: tag, bytes: bytes, raw: bytes, streams: streams,
 		payload: payload, sent: p.clock, ack: make(chan float64, 1),
@@ -73,7 +74,10 @@ func (r *Request) Wait() {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, r.tag, r.src, m.tag))
 	}
 	begin := maxf(m.sent, r.postClock)
-	dur := p.w.net.TransferTime(m.bytes, p.w.procs[m.src].node, p.node, m.streams)
+	dur := p.w.net.TransferTimeAt(begin, m.bytes, p.w.procs[m.src].node, p.node, m.streams)
+	if j := p.w.inj.JitterNs(m.src, p.rank, m.sent, m.bytes); j != 0 {
+		dur += j
+	}
 	p.w.net.CountRaw(m.raw, p.w.procs[m.src].node == p.node)
 	end := begin + dur
 	m.ack <- end

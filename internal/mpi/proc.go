@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"numabfs/internal/fault"
 	"numabfs/internal/obs"
 )
 
@@ -83,13 +84,45 @@ func (p *Proc) CommNs() float64 { return p.commNs }
 // SentBytes returns the cumulative payload bytes this rank has sent.
 func (p *Proc) SentBytes() int64 { return p.sentBytes }
 
-// Compute advances the rank's clock by ns of modelled computation.
+// Compute advances the rank's clock by ns of modelled computation. A
+// straggler rank's cost is scaled by its plan factor, and a scheduled
+// crash inside the interval truncates it: the rank dies at the crash
+// time, not at the end of the phase it never finished.
 func (p *Proc) Compute(ns float64) {
 	if ns < 0 {
 		panic(fmt.Sprintf("mpi: rank %d negative compute %g", p.rank, ns))
 	}
+	if s := p.w.inj.ComputeScale(p.rank); s != 1 {
+		ns *= s
+	}
+	if at, ok := p.w.inj.NextCrash(p.rank); ok && p.clock+ns >= at {
+		p.crashAt(at)
+	}
 	p.clock += ns
 }
+
+// checkCrash fires a scheduled crash whose time this rank's clock has
+// reached. Called at every communication boundary, so a crashed rank
+// dies before it can interact with the rest of the job again.
+func (p *Proc) checkCrash() {
+	if at, ok := p.w.inj.NextCrash(p.rank); ok && p.clock >= at {
+		p.crashAt(at)
+	}
+}
+
+// crashAt kills the rank: its clock lands on the crash time (never
+// rewinding past work already charged) and the structured *fault.Error
+// unwinds through the abort machinery so blocked partners are released.
+func (p *Proc) crashAt(at float64) {
+	p.clock = maxf(p.clock, at)
+	p.obs.FaultEvent("crash", p.clock)
+	panic(&fault.Error{Rank: p.rank, AtNs: at})
+}
+
+// RestoreClock sets the rank's clock to a checkpointed value. Only
+// crash recovery may call this — ordinary code advances clocks through
+// Compute and the communication calls.
+func (p *Proc) RestoreClock(ns float64) { p.clock = ns }
 
 // Send transfers bytes of payload to dst under tag. streams is the number
 // of same-node ranks concurrently driving the contended resource (NIC or
@@ -100,6 +133,7 @@ func (p *Proc) Send(dst, tag int, bytes int64, payload any, streams int) {
 	if dst == p.rank {
 		panic(fmt.Sprintf("mpi: rank %d send to self", p.rank))
 	}
+	p.checkCrash()
 	start := p.clock
 	m := message{
 		src: p.rank, tag: tag, bytes: bytes, raw: bytes, streams: streams,
@@ -150,13 +184,17 @@ func (p *Proc) Recv(src, tag int) Msg {
 	if src == p.rank {
 		panic(fmt.Sprintf("mpi: rank %d recv from self", p.rank))
 	}
+	p.checkCrash()
 	start := p.clock
 	m := p.take(src)
 	if m.tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, tag, src, m.tag))
 	}
 	begin := maxf(m.sent, p.clock)
-	dur := p.w.net.TransferTime(m.bytes, p.w.procs[src].node, p.node, m.streams)
+	dur := p.w.net.TransferTimeAt(begin, m.bytes, p.w.procs[src].node, p.node, m.streams)
+	if j := p.w.inj.JitterNs(m.src, p.rank, m.sent, m.bytes); j != 0 {
+		dur += j
+	}
 	p.w.net.CountRaw(m.raw, p.w.procs[src].node == p.node)
 	end := begin + dur
 	m.ack <- end
@@ -181,6 +219,7 @@ func (p *Proc) SendRecvWire(dst, sendTag int, wireBytes, rawBytes int64, payload
 }
 
 func (p *Proc) sendRecv(dst, sendTag int, wire, raw int64, payload any, src, recvTag int, streams int) Msg {
+	p.checkCrash()
 	start := p.clock
 	m := message{
 		src: p.rank, tag: sendTag, bytes: wire, raw: raw, streams: streams,
@@ -194,7 +233,10 @@ func (p *Proc) sendRecv(dst, sendTag int, wire, raw int64, payload any, src, rec
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, recvTag, src, in.tag))
 	}
 	begin := maxf(in.sent, p.clock)
-	dur := p.w.net.TransferTime(in.bytes, p.w.procs[src].node, p.node, in.streams)
+	dur := p.w.net.TransferTimeAt(begin, in.bytes, p.w.procs[src].node, p.node, in.streams)
+	if j := p.w.inj.JitterNs(in.src, p.rank, in.sent, in.bytes); j != 0 {
+		dur += j
+	}
 	p.w.net.CountRaw(in.raw, p.w.procs[src].node == p.node)
 	recvEnd := begin + dur
 	in.ack <- recvEnd
@@ -208,18 +250,21 @@ func (p *Proc) sendRecv(dst, sendTag int, wire, raw int64, payload any, src, rec
 }
 
 // Barrier synchronizes all ranks: every clock advances to the maximum
-// arrival time plus the cost of a dissemination barrier (log2(np) rounds
-// at the slowest path's per-message overhead). It returns the rank's
-// wait time (max - own arrival), the "stall" of Fig. 11.
+// arrival time plus the cost of a hierarchical dissemination barrier —
+// the ceilLog2(ppn) rounds that stay inside a node are charged at the
+// intra-node per-message overhead, and only the ceilLog2(Nodes) rounds
+// that cross the network pay the inter-node alpha. (Charging every
+// round at inter-node alpha, as a flat dissemination over all np ranks
+// would, overprices the barrier: MPI barriers on NUMA clusters combine
+// within the node over shared memory first.) It returns the rank's wait
+// time (max - own arrival), the "stall" of Fig. 11.
 func (p *Proc) Barrier() float64 {
+	p.checkCrash()
 	start := p.clock
 	max := p.w.globalBarrier.sync(p.clock)
-	alpha := p.w.cfg.IntraNodeAlphaNs
-	if p.w.cfg.Nodes > 1 {
-		alpha = p.w.cfg.InterNodeAlphaNs
-	}
-	rounds := ceilLog2(p.w.NumProcs())
-	p.clock = max + float64(rounds)*alpha
+	cost := float64(ceilLog2(p.w.ProcsPerNode())) * p.w.cfg.IntraNodeAlphaNs
+	cost += float64(ceilLog2(p.w.cfg.Nodes)) * p.w.cfg.InterNodeAlphaNs
+	p.clock = max + cost
 	p.commNs += p.clock - start
 	p.obs.BarrierWait(max - start)
 	return max - start
@@ -228,6 +273,7 @@ func (p *Proc) Barrier() float64 {
 // NodeBarrier synchronizes the ranks of p's node only (used around
 // shared-memory epochs). Returns the rank's wait time.
 func (p *Proc) NodeBarrier() float64 {
+	p.checkCrash()
 	start := p.clock
 	max := p.w.nodeBarriers[p.node].sync(p.clock)
 	rounds := ceilLog2(p.w.ProcsPerNode())

@@ -18,16 +18,27 @@ import (
 	"fmt"
 	"sync"
 
+	"numabfs/internal/fault"
 	"numabfs/internal/machine"
 	"numabfs/internal/obs"
 	"numabfs/internal/simnet"
 )
+
+// FaultError is the structured error a modelled rank crash produces:
+// TryRun returns it (instead of an opaque panic) so callers can tell a
+// scheduled fault from a programming bug and attempt recovery.
+type FaultError = fault.Error
 
 // World is one simulated MPI job: a set of ranks placed on a machine.
 type World struct {
 	cfg machine.Config
 	pl  machine.Placement
 	net *simnet.Network
+
+	// inj is the active fault injector, shared with net. Never nil — an
+	// empty plan compiles to an injector whose every hook is an exact
+	// identity.
+	inj *fault.Injector
 
 	procs []*Proc
 	// mail[dst][src] carries messages from src to dst.
@@ -80,6 +91,7 @@ func NewWorld(cfg machine.Config, pl machine.Placement) *World {
 		abort:      make(chan struct{}),
 		shmRegions: make(map[string][]uint64),
 	}
+	w.inj = w.net.Injector()
 	w.mail = make([][]chan message, np)
 	for d := range w.mail {
 		w.mail[d] = make([]chan message, np)
@@ -121,6 +133,24 @@ func (w *World) Placement() machine.Placement { return w.pl }
 // Net returns the network model (for volume counters).
 func (w *World) Net() *simnet.Network { return w.net }
 
+// Injector returns the active fault injector (never nil).
+func (w *World) Injector() *fault.Injector { return w.inj }
+
+// InjectFaults installs a fault plan. The configuration's weak node is
+// folded in so it persists — the plan adds to the machine, it does not
+// replace it. Call between runs only; rank-scoped entries are validated
+// against this world's size.
+func (w *World) InjectFaults(plan fault.Plan) error {
+	merged := fault.WeakNode(w.cfg.WeakNode, w.cfg.WeakNodeBWFactor).Merge(plan)
+	inj, err := fault.NewInjector(merged, len(w.procs))
+	if err != nil {
+		return err
+	}
+	w.inj = inj
+	w.net.SetInjector(inj)
+	return nil
+}
+
 // Proc returns rank r. Intended for post-run inspection.
 func (w *World) Proc(r int) *Proc { return w.procs[r] }
 
@@ -129,7 +159,24 @@ func (w *World) Proc(r int) *Proc { return w.procs[r] }
 // ranks blocked in communication are released, as MPI would — and the
 // first failure is re-raised on the caller with its rank attached.
 func (w *World) Run(body func(p *Proc)) {
+	if err := w.TryRun(body); err != nil {
+		panic(err)
+	}
+}
+
+// TryRun is Run returning the job's failure instead of panicking. A
+// modelled rank crash surfaces as a *FaultError — when several ranks
+// crash in one attempt, deterministically the earliest (ties broken by
+// rank), never whichever goroutine the host scheduler unblocked first —
+// while a programming bug keeps its descriptive wrapped panic and takes
+// precedence over any concurrent fault. After a failed attempt the world
+// is re-armed (abort channel, barriers, mailboxes), so a recovery
+// attempt can reuse it.
+func (w *World) TryRun(body func(p *Proc)) error {
+	w.resetAbort()
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var faults []*fault.Error
 	panics := make(chan error, len(w.procs))
 	for _, p := range w.procs {
 		wg.Add(1)
@@ -137,7 +184,13 @@ func (w *World) Run(body func(p *Proc)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					if _, aborted := r.(errAborted); !aborted {
+					switch e := r.(type) {
+					case errAborted:
+					case *fault.Error:
+						mu.Lock()
+						faults = append(faults, e)
+						mu.Unlock()
+					default:
 						panics <- fmt.Errorf("mpi: rank %d panicked: %v", p.rank, r)
 					}
 					w.doAbort()
@@ -149,8 +202,44 @@ func (w *World) Run(body func(p *Proc)) {
 	wg.Wait()
 	select {
 	case err := <-panics:
-		panic(err)
+		return err
 	default:
+	}
+	if len(faults) > 0 {
+		first := faults[0]
+		for _, f := range faults[1:] {
+			if f.AtNs < first.AtNs || (f.AtNs == first.AtNs && f.Rank < first.Rank) {
+				first = f
+			}
+		}
+		return first
+	}
+	return nil
+}
+
+// resetAbort re-arms the abort machinery after a failed attempt: a fresh
+// abort channel, fresh barriers (an aborted barrier generation is
+// poisoned), and drained mailboxes (a crashed rank may have left a
+// posted message no one will ever take). A no-op unless an abort fired.
+func (w *World) resetAbort() {
+	select {
+	case <-w.abort:
+	default:
+		return
+	}
+	w.abort = make(chan struct{})
+	w.abortOnce = sync.Once{}
+	w.globalBarrier = newBarrier(len(w.procs))
+	for n := range w.nodeBarriers {
+		w.nodeBarriers[n] = newBarrier(w.pl.ProcsPerNode)
+	}
+	for d := range w.mail {
+		for s := range w.mail[d] {
+			select {
+			case <-w.mail[d][s]:
+			default:
+			}
+		}
 	}
 }
 
@@ -193,6 +282,21 @@ func (w *World) ResetClocks() {
 		p.sentBytes = 0
 	}
 	w.net.ResetVolume()
+}
+
+// PrepareRecovery zeroes rank clocks and per-rank counters before a
+// crash-recovery attempt — but, unlike ResetClocks, neither advances the
+// observability epoch nor clears the network volume counters: the lost
+// attempt's traffic stays in the iteration totals (those bytes really
+// crossed the modelled network) and its spans stay on the timeline.
+// Recovery then restores each clock from the checkpoint via
+// Proc.RestoreClock.
+func (w *World) PrepareRecovery() {
+	for _, p := range w.procs {
+		p.clock = 0
+		p.commNs = 0
+		p.sentBytes = 0
+	}
 }
 
 // SharedWords returns (allocating on first use) a word slice shared by

@@ -76,6 +76,9 @@ const (
 	// CatLevel marks one whole BFS level on one rank; phase spans nest
 	// inside it. The critical-path walk is built on these.
 	CatLevel = "level"
+	// CatFault marks injected-fault events (crashes, checkpoint restores)
+	// as zero-duration instants on the crashing rank's timeline.
+	CatFault = "fault"
 )
 
 // Span is one recorded interval of a rank's virtual timeline. Start and
@@ -113,6 +116,8 @@ type Comm struct {
 	NodeBarrierWaitNs float64
 	// Collectives counts collective calls by name.
 	Collectives map[string]int64
+	// Faults counts injected-fault events by kind ("crash", "recover").
+	Faults map[string]int64
 }
 
 // merge adds o's counters into c (BarrierWaits samples included).
@@ -132,6 +137,12 @@ func (c *Comm) merge(o *Comm) {
 			c.Collectives = make(map[string]int64)
 		}
 		c.Collectives[name] += n
+	}
+	for name, n := range o.Faults {
+		if c.Faults == nil {
+			c.Faults = make(map[string]int64)
+		}
+		c.Faults[name] += n
 	}
 }
 
@@ -311,4 +322,17 @@ func (r *Rank) NodeBarrierWait(ns float64) {
 	}
 	r.comm.NodeBarriers++
 	r.comm.NodeBarrierWaitNs += ns
+}
+
+// FaultEvent records one injected-fault instant ("crash", "recover") at
+// the given raw rank-clock time and counts it by kind.
+func (r *Rank) FaultEvent(kind string, at float64) {
+	if r == nil {
+		return
+	}
+	r.span(kind, CatFault, -1, at, at)
+	if r.comm.Faults == nil {
+		r.comm.Faults = make(map[string]int64)
+	}
+	r.comm.Faults[kind]++
 }

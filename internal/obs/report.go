@@ -40,6 +40,9 @@ type SessionReport struct {
 	RawBytes map[string]int64 `json:"raw_bytes,omitempty"`
 	// Collectives counts collective calls by algorithm over all ranks.
 	Collectives map[string]int64 `json:"collective_calls,omitempty"`
+	// Faults counts injected-fault events ("crash", "recover") over all
+	// ranks; absent when no fault fired.
+	Faults map[string]int64 `json:"fault_events,omitempty"`
 
 	// Barrier wait distribution over every (rank, global barrier) pair.
 	BarrierCount  int64   `json:"barrier_count"`
@@ -163,6 +166,7 @@ func buildSessionReport(s *Session) SessionReport {
 		}
 	}
 	sr.Collectives = comm.Collectives
+	sr.Faults = comm.Faults
 	sr.BarrierCount = comm.Barriers
 	if comm.Barriers > 0 {
 		sr.BarrierP50Ns = stats.Percentile(comm.BarrierWaits, 50)
@@ -314,6 +318,19 @@ func (sr *SessionReport) render(b *strings.Builder) {
 		fmt.Fprintf(b, "collectives:")
 		for _, name := range names {
 			fmt.Fprintf(b, "  %s=%d", name, sr.Collectives[name])
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(sr.Faults) > 0 {
+		kinds := make([]string, 0, len(sr.Faults))
+		for kind := range sr.Faults {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(b, "fault events:")
+		for _, kind := range kinds {
+			fmt.Fprintf(b, "  %s=%d", kind, sr.Faults[kind])
 		}
 		b.WriteByte('\n')
 	}

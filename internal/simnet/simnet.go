@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"numabfs/internal/fault"
 	"numabfs/internal/machine"
 )
 
@@ -23,6 +24,11 @@ import (
 // and keeps volume counters used to verify Eq. (1) and Eq. (2).
 type Network struct {
 	cfg machine.Config
+
+	// inj perturbs inter-node bandwidth (internal/fault). New installs
+	// the config's weak node as a trivial static plan; SetInjector
+	// replaces it wholesale.
+	inj *fault.Injector
 
 	intraBytes atomic.Int64 // bytes moved between ranks of one node
 	interBytes atomic.Int64 // bytes moved between nodes
@@ -36,31 +42,44 @@ type Network struct {
 	// uncompressed traffic the raw counters equal the wire counters.
 	rawIntraBytes atomic.Int64
 	rawInterBytes atomic.Int64
+
+	degradedMsgs atomic.Int64 // inter-node messages sent at reduced bandwidth
 }
 
-// New returns a network over cfg.
+// New returns a network over cfg. The testbed's ill-performing node
+// (cfg.WeakNode) is realized as a static single-event fault plan; it is
+// validated by machine.Config.Validate, so compiling it cannot fail.
 func New(cfg machine.Config) *Network {
-	return &Network{cfg: cfg}
+	inj, err := fault.NewInjector(fault.WeakNode(cfg.WeakNode, cfg.WeakNodeBWFactor), 0)
+	if err != nil {
+		panic(fmt.Sprintf("simnet: invalid weak-node config: %v", err))
+	}
+	return &Network{cfg: cfg, inj: inj}
 }
 
 // Config returns the machine configuration the network models.
 func (n *Network) Config() machine.Config { return n.cfg }
 
-// weak reports whether a node is the testbed's ill-performing node.
-func (n *Network) weak(node int) bool {
-	return n.cfg.WeakNode >= 0 && node == n.cfg.WeakNode
-}
+// Injector returns the network's current fault injector.
+func (n *Network) Injector() *fault.Injector { return n.inj }
+
+// SetInjector replaces the fault injector. The caller owns composing the
+// config's weak node into the new plan if it should persist (see
+// mpi.World.InjectFaults). Call only while no transfer is in flight.
+func (n *Network) SetInjector(inj *fault.Injector) { n.inj = inj }
 
 // InterNodeBandwidth returns the per-stream bandwidth (bytes/ns) of a
 // transfer between srcNode and dstNode when `streams` same-node ranks
-// drive each NIC concurrently.
+// drive each NIC concurrently, at virtual time zero.
 func (n *Network) InterNodeBandwidth(srcNode, dstNode, streams int) float64 {
+	return n.InterNodeBandwidthAt(0, srcNode, dstNode, streams)
+}
+
+// InterNodeBandwidthAt is InterNodeBandwidth at virtual time `at`, when
+// scheduled fault events may degrade the link.
+func (n *Network) InterNodeBandwidthAt(at float64, srcNode, dstNode, streams int) float64 {
 	bw := n.cfg.StreamBandwidth(streams)
-	if n.weak(srcNode) || n.weak(dstNode) {
-		f := n.cfg.WeakNodeBWFactor
-		if f <= 0 || f > 1 {
-			f = 1
-		}
+	if f := n.inj.LinkFactor(srcNode, dstNode, at); f != 1 {
 		bw *= f
 	}
 	return bw
@@ -71,7 +90,7 @@ func (n *Network) InterNodeBandwidth(srcNode, dstNode, streams int) float64 {
 // run through the node's memory system, so they share it.
 func (n *Network) IntraNodeBandwidth(streams int) float64 {
 	if streams < 1 {
-		streams = 1
+		panic(fmt.Sprintf("simnet: stream count %d, need >= 1", streams))
 	}
 	return n.cfg.ShmCopyBW / float64(streams)
 }
@@ -80,8 +99,18 @@ func (n *Network) IntraNodeBandwidth(streams int) float64 {
 // rank on srcNode to a rank on dstNode with `streams` concurrent streams
 // on the contended resource (the NIC for inter-node, the memory system
 // for intra-node). A zero-byte transfer still pays the alpha overhead —
-// it is a synchronizing message.
+// it is a synchronizing message. Equivalent to TransferTimeAt at virtual
+// time zero (before any scheduled fault event can start).
 func (n *Network) TransferTime(bytes int64, srcNode, dstNode, streams int) float64 {
+	return n.TransferTimeAt(0, bytes, srcNode, dstNode, streams)
+}
+
+// TransferTimeAt is TransferTime for a transfer beginning at virtual
+// time `at`: bandwidth-degradation events active at that moment slow the
+// inter-node path. The degradation factor is sampled once at transfer
+// start — events are coarse relative to single messages, so integrating
+// the rate over a window boundary is not worth the model complexity.
+func (n *Network) TransferTimeAt(at float64, bytes int64, srcNode, dstNode, streams int) float64 {
 	if bytes < 0 {
 		panic(fmt.Sprintf("simnet: negative transfer size %d", bytes))
 	}
@@ -92,7 +121,12 @@ func (n *Network) TransferTime(bytes int64, srcNode, dstNode, streams int) float
 	}
 	n.interBytes.Add(bytes)
 	n.interMsgs.Add(1)
-	return n.cfg.InterNodeAlphaNs + float64(bytes)/n.InterNodeBandwidth(srcNode, dstNode, streams)
+	bw := n.cfg.StreamBandwidth(streams)
+	if f := n.inj.LinkFactor(srcNode, dstNode, at); f != 1 {
+		bw *= f
+		n.degradedMsgs.Add(1)
+	}
+	return n.cfg.InterNodeAlphaNs + float64(bytes)/bw
 }
 
 // CountRaw records the logical (pre-compression) size of one received
@@ -113,6 +147,10 @@ type Volume struct {
 	IntraBytes, InterBytes       int64
 	IntraMsgs, InterMsgs         int64
 	RawIntraBytes, RawInterBytes int64
+
+	// DegradedMsgs counts inter-node messages that paid a fault-injected
+	// bandwidth penalty (weak node, brown-out, or link event).
+	DegradedMsgs int64
 }
 
 // Volume returns the network's cumulative counters.
@@ -124,6 +162,7 @@ func (n *Network) Volume() Volume {
 		InterMsgs:     n.interMsgs.Load(),
 		RawIntraBytes: n.rawIntraBytes.Load(),
 		RawInterBytes: n.rawInterBytes.Load(),
+		DegradedMsgs:  n.degradedMsgs.Load(),
 	}
 }
 
@@ -135,6 +174,7 @@ func (n *Network) ResetVolume() {
 	n.interMsgs.Store(0)
 	n.rawIntraBytes.Store(0)
 	n.rawInterBytes.Store(0)
+	n.degradedMsgs.Store(0)
 }
 
 // NodeBandwidthAt returns the aggregate node-to-node bandwidth achieved

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"numabfs/internal/fault"
 	"numabfs/internal/machine"
 )
 
@@ -124,4 +125,41 @@ func TestTransferTimeMonotoneInSizeProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestTransferTimeAtWindowedDegradation(t *testing.T) {
+	n := testNet()
+	inj, err := fault.NewInjector(fault.Plan{BW: []fault.BWEvent{
+		{Node: 1, Src: -1, Dst: -1, Factor: 0.5, FromNs: 1000, UntilNs: 2000},
+	}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetInjector(inj)
+	clean := n.TransferTimeAt(0, 1<<20, 0, 1, 1)
+	during := n.TransferTimeAt(1500, 1<<20, 0, 1, 1)
+	after := n.TransferTimeAt(2000, 1<<20, 0, 1, 1)
+	if during <= clean {
+		t.Fatalf("brown-out window did not slow the transfer: %g vs %g", during, clean)
+	}
+	if clean != after {
+		t.Fatalf("degradation leaked outside its window: %g vs %g", clean, after)
+	}
+	// Intra-node transfers never pay inter-node link degradation.
+	if a, b := n.TransferTimeAt(1500, 1<<20, 1, 1, 4), n.TransferTimeAt(0, 1<<20, 1, 1, 4); a != b {
+		t.Fatalf("link fault applied to intra-node transfer: %g vs %g", a, b)
+	}
+	if got := n.Volume().DegradedMsgs; got != 1 {
+		t.Fatalf("DegradedMsgs = %d, want 1 (only the in-window inter-node transfer)", got)
+	}
+}
+
+func TestIntraNodeBandwidthRejectsBadStreams(t *testing.T) {
+	n := testNet()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntraNodeBandwidth(0) should panic, not silently clamp")
+		}
+	}()
+	n.IntraNodeBandwidth(0)
 }

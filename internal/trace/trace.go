@@ -21,6 +21,8 @@ const (
 	BUComm              // bottom-up communication (the two allgathers)
 	Switch              // td->bu and bu->td data-structure conversion
 	Stall               // idle time at phase barriers (load imbalance)
+	Ckpt                // level-boundary checkpoint saves (fault tolerance)
+	Recovery            // crash detection, rollback and state restore
 	NumPhases
 )
 
@@ -39,6 +41,10 @@ func (p Phase) String() string {
 		return "switch"
 	case Stall:
 		return "stall"
+	case Ckpt:
+		return "ckpt"
+	case Recovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -128,6 +134,8 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		BUCommNs    float64 `json:"bu_comm_ns"`
 		SwitchNs    float64 `json:"switch_ns"`
 		StallNs     float64 `json:"stall_ns"`
+		CkptNs      float64 `json:"ckpt_ns"`
+		RecoveryNs  float64 `json:"recovery_ns"`
 		TotalNs     float64 `json:"total_ns"`
 		TDLevels    int     `json:"td_levels"`
 		BULevels    int     `json:"bu_levels"`
@@ -136,6 +144,7 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		TDCompNs: b.Ns[TDComp], TDCommNs: b.Ns[TDComm],
 		BUCompNs: b.Ns[BUComp], BUCommNs: b.Ns[BUComm],
 		SwitchNs: b.Ns[Switch], StallNs: b.Ns[Stall],
+		CkptNs:   b.Ns[Ckpt], RecoveryNs: b.Ns[Recovery],
 		TotalNs:  b.Total(),
 		TDLevels: b.TDLevels, BULevels: b.BULevels, BUCommCount: b.BUCommCount,
 	})
