@@ -49,6 +49,7 @@ var drivers = []driver{
 	{"2d", experiments.Ext2D},
 	{"compression", experiments.ExtCompression},
 	{"faults", experiments.ExtFaults},
+	{"loss", experiments.ExtLoss},
 	{"abl-allgather", experiments.AblationAllgather},
 	{"abl-compression", experiments.AblationCompression},
 	{"abl-hybrid", experiments.AblationHybrid},
@@ -74,6 +75,110 @@ type benchFile struct {
 	Scale     int           `json:"scale"`
 	Roots     int           `json:"roots"`
 	Records   []benchRecord `json:"records"`
+}
+
+// driverFor returns the driver registered under key, or nil.
+func driverFor(key string) *driver {
+	for i := range drivers {
+		if drivers[i].key == key {
+			return &drivers[i]
+		}
+	}
+	return nil
+}
+
+// benchCheck reruns the experiments recorded in a -bench-json baseline
+// (at the baseline's scale and roots) and compares every table value at
+// 1e-9 relative tolerance. A value drift is a simulation regression and
+// fails the check; host wall-clock drift is only reported — it varies
+// with the machine. Returns the number of drifted experiments.
+func benchCheck(path string, want []string, weak bool) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	spec := experiments.Spec{BaseScale: bf.Scale, Roots: bf.Roots, WeakNode: weak}
+	match := func(key string) bool {
+		for _, w := range want {
+			if w == "all" || w == key {
+				return true
+			}
+		}
+		return false
+	}
+	drifted := 0
+	checked := 0
+	for _, rec := range bf.Records {
+		if !match(rec.Fig) {
+			continue
+		}
+		d := driverFor(rec.Fig)
+		if d == nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: bench-check: baseline fig %q has no driver, skipping\n", rec.Fig)
+			continue
+		}
+		start := time.Now()
+		got, err := d.run(spec)
+		if err != nil {
+			return drifted, fmt.Errorf("fig %s: %w", rec.Fig, err)
+		}
+		host := time.Since(start)
+		checked++
+		if diff := tableDiff(rec.Table, got); diff != "" {
+			drifted++
+			fmt.Printf("FAIL fig %-14s %s\n", rec.Fig, diff)
+			continue
+		}
+		ratio := float64(host.Nanoseconds()) / float64(rec.HostNs)
+		fmt.Printf("ok   fig %-14s values match; host time %.2fs vs baseline %.2fs (x%.2f)\n",
+			rec.Fig, host.Seconds(), float64(rec.HostNs)/1e9, ratio)
+	}
+	if checked == 0 {
+		return 0, fmt.Errorf("no baseline experiment matched -fig %s", strings.Join(want, ","))
+	}
+	return drifted, nil
+}
+
+// tableDiff compares two tables cell by cell at 1e-9 relative tolerance
+// and returns a description of the first difference, or "".
+func tableDiff(want, got *experiments.Table) string {
+	if want == nil || got == nil {
+		return "missing table"
+	}
+	if len(want.Rows) != len(got.Rows) {
+		return fmt.Sprintf("row count %d vs baseline %d", len(got.Rows), len(want.Rows))
+	}
+	for i, wr := range want.Rows {
+		gr := got.Rows[i]
+		if wr.Label != gr.Label {
+			return fmt.Sprintf("row %d label %q vs baseline %q", i, gr.Label, wr.Label)
+		}
+		if len(wr.Values) != len(gr.Values) {
+			return fmt.Sprintf("row %q has %d values vs baseline %d", wr.Label, len(gr.Values), len(wr.Values))
+		}
+		for j, wv := range wr.Values {
+			gv := gr.Values[j]
+			diff := gv - wv
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := wv
+			if scale < 0 {
+				scale = -scale
+			}
+			if scale < 1 {
+				scale = 1
+			}
+			if diff > 1e-9*scale {
+				return fmt.Sprintf("row %q col %d: %v vs baseline %v", wr.Label, j, gv, wv)
+			}
+		}
+	}
+	return ""
 }
 
 // figKeys returns every valid -fig value, including the special keys
@@ -103,7 +208,7 @@ func unknownFigs(want []string) []string {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,compression,faults,abl-allgather,abl-compression,abl-hybrid,all")
+	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,compression,faults,loss,abl-allgather,abl-compression,abl-hybrid,all")
 	scale := flag.Int("scale", 16, "graph scale at one node (weak scaling adds log2(nodes))")
 	roots := flag.Int("roots", 8, "BFS roots per configuration (Graph500 uses 64)")
 	validate := flag.Bool("validate", false, "validate every BFS tree (slow)")
@@ -113,6 +218,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the aggregated observability report (per-phase time, message counts by hop, barrier waits, critical path)")
 	benchJSON := flag.String("bench-json", "", "time each selected experiment and write a regression baseline (BENCH_<date>.json) to this file")
 	faultFile := flag.String("fault", "", "apply a deterministic fault plan (JSON, see internal/fault.Plan) to every run")
+	benchCheckFile := flag.String("bench-check", "", "rerun the experiments in a -bench-json baseline at its recorded scale/roots and fail on any table-value drift")
 	flag.Parse()
 
 	want := strings.Split(*fig, ",")
@@ -124,6 +230,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bfsbench: unknown -fig value(s) %s; valid keys: %s\n",
 			strings.Join(quoted, ","), strings.Join(figKeys(), ","))
 		os.Exit(2)
+	}
+
+	if *benchCheckFile != "" {
+		drifted, err := benchCheck(*benchCheckFile, want, *weak)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: bench-check: %v\n", err)
+			os.Exit(1)
+		}
+		if drifted != 0 {
+			fmt.Fprintf(os.Stderr, "bfsbench: bench-check: %d experiment(s) drifted from %s\n", drifted, *benchCheckFile)
+			os.Exit(1)
+		}
+		return
 	}
 
 	spec := experiments.Spec{

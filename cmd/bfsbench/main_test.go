@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
+
+	"numabfs/internal/experiments"
 )
 
 func TestFigKeys(t *testing.T) {
@@ -31,5 +36,91 @@ func TestUnknownFigs(t *testing.T) {
 	got := unknownFigs([]string{"11", "bogus", "7", "levels"})
 	if !reflect.DeepEqual(got, []string{"bogus", "7"}) {
 		t.Fatalf("unknownFigs = %v, want [bogus 7]", got)
+	}
+}
+
+func TestDriverForLoss(t *testing.T) {
+	if d := driverFor("loss"); d == nil {
+		t.Fatal("loss driver not registered")
+	}
+	if d := driverFor("bogus"); d != nil {
+		t.Fatalf("bogus key resolved to %q", d.key)
+	}
+}
+
+func TestTableDiff(t *testing.T) {
+	mk := func() *experiments.Table {
+		tab := &experiments.Table{Name: "X", Columns: []string{"a", "b"}}
+		tab.AddRow("r1", 1.0, 2.5e9)
+		tab.AddRow("r2", 0, -3.25)
+		return tab
+	}
+	if d := tableDiff(mk(), mk()); d != "" {
+		t.Fatalf("identical tables diff: %s", d)
+	}
+	// Drift within 1e-9 relative tolerance passes; beyond it fails.
+	close := mk()
+	close.Rows[0].Values[1] *= 1 + 1e-12
+	if d := tableDiff(mk(), close); d != "" {
+		t.Fatalf("sub-tolerance drift flagged: %s", d)
+	}
+	far := mk()
+	far.Rows[0].Values[1] *= 1 + 1e-6
+	if d := tableDiff(mk(), far); d == "" {
+		t.Fatal("value drift not flagged")
+	}
+	relabeled := mk()
+	relabeled.Rows[1].Label = "renamed"
+	if d := tableDiff(mk(), relabeled); d == "" {
+		t.Fatal("label change not flagged")
+	}
+	short := mk()
+	short.Rows = short.Rows[:1]
+	if d := tableDiff(mk(), short); d == "" {
+		t.Fatal("missing row not flagged")
+	}
+	if d := tableDiff(mk(), nil); d == "" {
+		t.Fatal("nil table not flagged")
+	}
+}
+
+// TestBenchCheckRoundTrip: a baseline written from a live run must pass
+// its own check, and a perturbed copy must fail with a nonzero drift
+// count.
+func TestBenchCheckRoundTrip(t *testing.T) {
+	spec := experiments.Spec{BaseScale: 12, Roots: 1}
+	tab, err := experiments.Fig10(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := benchFile{Scale: spec.BaseScale, Roots: spec.Roots,
+		Records: []benchRecord{{Fig: "10", HostNs: 1, Table: tab}}}
+	data, err := json.Marshal(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := benchCheck(path, []string{"all"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted != 0 {
+		t.Fatalf("self-check drifted %d experiment(s)", drifted)
+	}
+
+	bf.Records[0].Table.Rows[0].Values[0] *= 1.01
+	data, _ = json.Marshal(bf)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drifted, err = benchCheck(path, []string{"10"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted != 1 {
+		t.Fatalf("perturbed baseline drifted %d, want 1", drifted)
 	}
 }

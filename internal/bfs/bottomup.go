@@ -75,17 +75,17 @@ func (rs *rankState) bottomUpLevel(p *mpi.Proc) (nf, mf int64) {
 	rs.stallBarrier(p, trace.BUComm)
 
 	// Communication: the two allgathers of Fig. 1.
-	t0 := p.Clock()
+	t0, x0 := p.Clock(), p.XportNs()
 	rs.allgatherInQueue(p)
 	rs.allgatherSummary(p)
-	rs.charge(trace.BUComm, t0, p.Clock())
+	rs.chargeComm(p, trace.BUComm, t0, x0)
 	rs.bd.BUCommCount++
 
 	// Frontier accounting.
-	t0 = p.Clock()
+	t0, x0 = p.Clock(), p.XportNs()
 	nf = r.AllGroup.AllreduceSumInt64(p, nfLocal)
 	mf = r.AllGroup.AllreduceSumInt64(p, mfLocal)
-	rs.charge(trace.BUComm, t0, p.Clock())
+	rs.chargeComm(p, trace.BUComm, t0, x0)
 	return nf, mf
 }
 

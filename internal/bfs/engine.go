@@ -12,6 +12,7 @@ import (
 	"numabfs/internal/obs"
 	"numabfs/internal/omp"
 	"numabfs/internal/rmat"
+	"numabfs/internal/simnet"
 	"numabfs/internal/trace"
 	"numabfs/internal/wire"
 )
@@ -317,6 +318,11 @@ type RootResult struct {
 	// (segments per format, raw vs wire bytes); zero below
 	// OptCompressedAllgather.
 	Wire wire.Stats
+	// Xport is the reliable-transport ledger of the iteration: protocol
+	// overhead bytes (within CommBytes) and retransmit / corruption /
+	// duplicate / reorder / ack counts. All-zero unless the fault plan
+	// declares lossy links.
+	Xport simnet.Xport
 	// Faults lists the rank crashes this iteration survived via
 	// checkpoint recovery, in recovery order; empty when no crash fired.
 	// When non-empty, CommBytes/RawCommBytes and Wire include the lost
@@ -347,9 +353,11 @@ func (r *Runner) RunRoot(root int64) RootResult {
 	})
 	for attempt := 0; err != nil; attempt++ {
 		f, ok := err.(*mpi.FaultError)
-		if !ok || !r.ckptOn || attempt >= len(r.faults.Crashes) {
-			// A programming bug, or more failures than the plan can
-			// produce — not a recoverable modelled fault.
+		if !ok || f.Kind != fault.KindCrash || !r.ckptOn || attempt >= len(r.faults.Crashes) {
+			// A programming bug, more failures than the plan can produce,
+			// or a dead link (KindLinkLoss) — not recoverable here: a
+			// crashed rank restarts from a checkpoint, but replaying past
+			// a permanently exhausted link would just exhaust it again.
 			panic(err)
 		}
 		faults = append(faults, f)
@@ -388,6 +396,7 @@ func (r *Runner) RunRoot(root int64) RootResult {
 	vol := r.W.Net().Volume()
 	res.CommBytes = vol.IntraBytes + vol.InterBytes
 	res.RawCommBytes = vol.RawIntraBytes + vol.RawInterBytes
+	res.Xport = vol.Xport
 	for _, rs := range r.states {
 		if rs.inqCodec != nil {
 			res.Wire.Add(rs.inqCodec.Stats())

@@ -41,10 +41,10 @@ func (rs *rankState) initRoot(p *mpi.Proc, root int64) *loopState {
 	}
 	// The initial frontier's size/edges (known to all via allreduce; the
 	// reference code knows them implicitly, we pay two scalar messages).
-	t0 := p.Clock()
+	t0, x0 := p.Clock(), p.XportNs()
 	nf := r.AllGroup.AllreduceSumInt64(p, nfLocal)
 	mf := r.AllGroup.AllreduceSumInt64(p, mfLocal)
-	rs.charge(trace.TDComm, t0, p.Clock())
+	rs.chargeComm(p, trace.TDComm, t0, x0)
 
 	st := &loopState{
 		bottomUp:           r.Opts.Mode == ModeBottomUp,
@@ -155,4 +155,19 @@ func (rs *rankState) stallBarrier(p *mpi.Proc, comm trace.Phase) {
 func (rs *rankState) charge(ph trace.Phase, start, end float64) {
 	rs.bd.Add(ph, end-start)
 	rs.rec.PhaseSpan(ph, rs.levels, start, end)
+}
+
+// chargeComm is charge for a communication section: the reliable
+// transport's stall accrued inside it (retransmission waits,
+// resequencer holds, ack round-trips) is carved into trace.Xport, so
+// lossy-link protocol time never masquerades as algorithmic
+// communication in the breakdown. x0 is p.XportNs() sampled at the
+// section start; with no loss plan the delta is exactly 0.0 and the
+// charge is bit-identical to charge().
+func (rs *rankState) chargeComm(p *mpi.Proc, ph trace.Phase, t0, x0 float64) {
+	end := p.Clock()
+	dx := p.XportNs() - x0
+	rs.bd.Add(trace.Xport, dx)
+	rs.bd.Add(ph, end-t0-dx)
+	rs.rec.PhaseSpan(ph, rs.levels, t0, end)
 }

@@ -61,9 +61,9 @@ func (rs *rankState) topDownLevel(p *mpi.Proc) (nf, mf int64) {
 	rs.stallBarrier(p, trace.TDComm)
 
 	// Communication: route discovered pairs to their owners.
-	t0 := p.Clock()
+	t0, x0 := p.Clock(), p.XportNs()
 	recv := r.AllGroup.AlltoallvInt64(p, rs.send)
-	rs.charge(trace.TDComm, t0, p.Clock())
+	rs.chargeComm(p, trace.TDComm, t0, x0)
 
 	// Process received pairs (charged as top-down computation: the owner
 	// re-checks visitation just as the reference code does).
@@ -95,10 +95,10 @@ func (rs *rankState) topDownLevel(p *mpi.Proc) (nf, mf int64) {
 	rs.rec.PhaseSpan(trace.TDComp, rs.levels, tc, p.Clock())
 
 	// Frontier accounting for termination and the hybrid switch.
-	t0 = p.Clock()
+	t0, x0 = p.Clock(), p.XportNs()
 	nf = r.AllGroup.AllreduceSumInt64(p, nfLocal)
 	mf = r.AllGroup.AllreduceSumInt64(p, mfLocal)
-	rs.charge(trace.TDComm, t0, p.Clock())
+	rs.chargeComm(p, trace.TDComm, t0, x0)
 	return nf, mf
 }
 

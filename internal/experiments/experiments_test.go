@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"numabfs/internal/fault"
 )
 
 // quick returns a spec small enough for CI; shapes assertions below use
@@ -286,5 +289,74 @@ func TestExtFaultsShape(t *testing.T) {
 	}
 	if v := crash.Values[0]; v <= 0 || v >= 1 {
 		t.Errorf("crash row retained %g, want in (0, 1): recovery costs time but completes", v)
+	}
+}
+
+func TestExtLossShape(t *testing.T) {
+	tab, err := ExtLoss(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 optimization-level rows + retransmit and overhead ledger rows.
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	for _, r := range tab.Rows[:5] {
+		if r.Values[0] != 1 {
+			t.Errorf("%s: clean column %g, want exactly 1 (self-relative)", r.Label, r.Values[0])
+		}
+		for i, v := range r.Values {
+			if v <= 0 || v > 1.0001 {
+				t.Errorf("%s col %d: retained fraction %g outside (0, 1]", r.Label, i, v)
+			}
+		}
+		// The protocol tax plus harsher loss must never help.
+		for i := 1; i < len(r.Values); i++ {
+			if r.Values[i] > r.Values[i-1]*1.0001 {
+				t.Errorf("%s: retained fraction rose under harsher loss: %v", r.Label, r.Values)
+			}
+		}
+	}
+	retrans, overhead := tab.Rows[5], tab.Rows[6]
+	if !strings.Contains(retrans.Label, "Retransmits") || !strings.Contains(overhead.Label, "Overhead") {
+		t.Fatalf("ledger rows mislabeled: %q, %q", retrans.Label, overhead.Label)
+	}
+	// Clean and loss-0% columns carry no retransmissions; real loss must.
+	if retrans.Values[0] != 0 || retrans.Values[1] != 0 {
+		t.Errorf("retransmits without loss: %v", retrans.Values)
+	}
+	if last := retrans.Values[len(retrans.Values)-1]; last <= 0 {
+		t.Errorf("no retransmits at the harshest rate: %v", retrans.Values)
+	}
+	// Protocol overhead appears as soon as the transport is on (loss 0%).
+	if overhead.Values[0] != 0 || overhead.Values[1] <= 0 {
+		t.Errorf("overhead columns wrong: %v", overhead.Values)
+	}
+}
+
+// TestLossTransportIdentityOnFigures: a transport-tuning-only plan (no
+// Loss events) applied through the Spec must leave the cluster figures
+// bit-identical to running with no plan at all — the experiments-level
+// face of the transport's identity guarantee.
+func TestLossTransportIdentityOnFigures(t *testing.T) {
+	tiny := Spec{BaseScale: 12, Roots: 1} // Fig9 weak-scales to 16 nodes; keep the doubled sweep cheap
+	tuned := fault.Plan{RetransmitTimeoutNs: 5e3, RetransmitBackoff: 1.5, RetryBudget: 4}
+	for _, fig := range []struct {
+		name string
+		run  func(Spec) (*Table, error)
+	}{{"Fig9", Fig9}, {"Fig13", Fig13}, {"Fig15", Fig15}} {
+		base, err := fig.run(tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tiny
+		s.Faults = &tuned
+		got, err := fig.run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("%s: tuning-only plan perturbed the table:\nbase %v\ngot  %v", fig.name, base, got)
+		}
 	}
 }

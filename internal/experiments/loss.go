@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/fault"
+)
+
+// lossRates is the message-unreliability sweep: drop probability per
+// inter-node message (fault.Lossy derives correlated duplicate, corrupt
+// and reorder probabilities from it). Rate 0 still activates the
+// reliable transport — that column isolates the pure protocol cost of
+// frame headers and acks from the cost of actual loss.
+var lossRates = []float64{0, 0.005, 0.02, 0.05}
+
+// ExtLoss studies end-to-end result integrity and throughput under
+// lossy links on a fixed 4-node cluster: every cumulative optimization
+// level is rerun under a sweep of per-message drop rates (with
+// correlated duplication, corruption and reordering), carried by the
+// reliable transport under internal/mpi — sequence numbers, CRC,
+// cumulative acks, timeout retransmission with exponential backoff.
+// Every cell runs with full Graph500 tree validation as the oracle: a
+// run only scores if its BFS tree is provably correct, so the table
+// doubles as an integrity proof under any loss plan.
+//
+// Cells are harmonic-TEPS retained relative to the same level's clean
+// run (no transport at all). The "loss 0%" column is the protocol tax
+// alone; later columns add retransmission stalls. The compressed
+// allgather moves the smallest segments, so each drop costs it the
+// least absolute retransmission time — it degrades the most gracefully,
+// the mirror image of the bandwidth-degradation result in Ext. faults.
+func ExtLoss(s Spec) (*Table, error) {
+	const nodes = 4
+	const seed = 2026
+	scale := s.scaleFor(nodes)
+
+	t := &Table{
+		Name: "Ext. loss",
+		Title: fmt.Sprintf("TEPS retained under lossy links (%d nodes, scale %d, validated roots, seed %d)",
+			nodes, scale, seed),
+		Columns: []string{"clean", "loss 0%", "loss 0.5%", "loss 2%", "loss 5%"},
+	}
+
+	type cell struct {
+		retained float64
+		timeNs   float64
+		retrans  int64
+		overhead int64
+		roots    int
+	}
+	variants := faultVariants()
+	cells := make(map[string][]cell, len(variants))
+
+	for _, v := range variants {
+		opts := bfs.DefaultOptions()
+		opts.Opt = v.opt
+		var baseline float64
+		row := make([]cell, 0, len(lossRates)+1)
+		for i := -1; i < len(lossRates); i++ {
+			fs := s
+			fs.Validate = true // Graph500 tree validation is the oracle for every cell
+			if i >= 0 {
+				plan := fault.Lossy(seed, lossRates[i])
+				fs.Faults = &plan
+			} else {
+				fs.Faults = nil // clean: transport not even compiled into the timing
+			}
+			res, err := fs.run(nodes, v.policy, opts)
+			if err != nil {
+				col := "clean"
+				if i >= 0 {
+					col = fmt.Sprintf("rate %g", lossRates[i])
+				}
+				return nil, fmt.Errorf("ext loss %s %s: %w", v.label, col, err)
+			}
+			c := cell{timeNs: res.MeanTimeNs, roots: len(res.PerRoot)}
+			for _, rr := range res.PerRoot {
+				c.retrans += rr.Xport.Retransmits
+				c.overhead += rr.Xport.OverheadBytes
+			}
+			if i == -1 {
+				baseline = res.HarmonicTEPS
+			}
+			c.retained = res.HarmonicTEPS / baseline
+			row = append(row, c)
+		}
+		cells[v.label] = row
+		vals := make([]float64, len(row))
+		for i, c := range row {
+			vals[i] = c.retained
+		}
+		t.AddRow(v.label, vals...)
+	}
+
+	// Transport-ledger rows for the baseline level: retransmissions and
+	// protocol overhead per root across the sweep. The clean column is
+	// zero by construction — no transport, no protocol bytes.
+	base := cells[variants[0].label]
+	retrans := make([]float64, len(base))
+	overMB := make([]float64, len(base))
+	for i, c := range base {
+		retrans[i] = float64(c.retrans) / float64(c.roots)
+		overMB[i] = float64(c.overhead) / float64(c.roots) / (1 << 20)
+	}
+	t.AddRow("Retransmits/root (Original)", retrans...)
+	t.AddRow("Overhead MiB/root (Original)", overMB...)
+
+	// Per-drop cost comparison between the largest-segment and the
+	// smallest-segment collective at the harshest rate.
+	perDrop := func(label string) float64 {
+		row := cells[label]
+		last := row[len(row)-1]
+		if last.retrans == 0 {
+			return 0
+		}
+		return (last.timeNs - row[0].timeNs) * float64(last.roots) / float64(last.retrans)
+	}
+	parDrop := perDrop("+ Par allgather")
+	cmpDrop := perDrop("+ Compressed allgather")
+
+	t.Notes = append(t.Notes,
+		"cells are harmonic-TEPS retained vs the same optimization level with no loss plan (column 1 is 1.0 by construction)",
+		"every cell validates each BFS tree against the Graph500 spec — integrity holds under every loss rate",
+		"the loss 0% column activates the reliable transport with zero loss: pure frame-header + ack protocol tax",
+		fmt.Sprintf("virtual time lost per dropped message at 5%%: par allgather %.0f ns vs compressed allgather %.0f ns — smaller segments make each retransmission cheaper", parDrop, cmpDrop),
+	)
+	return t, nil
+}

@@ -2,7 +2,9 @@
 // simulated NUMA cluster: scheduled bandwidth degradation of nodes or
 // individual links (including transient NIC brown-outs), straggler
 // ranks whose computation runs slow by a constant factor, per-message
-// latency jitter, and rank crashes at a chosen virtual time.
+// latency jitter, rank crashes at a chosen virtual time, and lossy
+// links (Loss) whose frames drop, duplicate, reorder or corrupt —
+// served by the reliable transport under internal/mpi.
 //
 // A Plan is pure data — JSON-serializable so cmd/bfsbench can load one
 // from a file — and everything it injects is a function of the plan, its
@@ -32,6 +34,18 @@ import (
 // (MPI implementations detect peer death through transport timeouts).
 const DefaultDetectTimeoutNs = 1e6
 
+// Reliable-transport tuning defaults, used when a plan with Loss events
+// leaves the corresponding field zero. The retransmission timeout is an
+// order of magnitude above the inter-node round trip (2 x 2000 ns alpha
+// plus transfer time), so a healthy link never times out spuriously; the
+// backoff doubles the timeout per retry; the retry budget bounds total
+// transmissions of one frame before the sender declares the link dead.
+const (
+	DefaultRetransmitTimeoutNs = 20e3
+	DefaultRetransmitBackoff   = 2.0
+	DefaultRetryBudget         = 16
+)
+
 // BWEvent degrades bandwidth on part of the interconnect during a
 // virtual-time window. Node-scoped events (Node >= 0) affect every
 // inter-node transfer with an endpoint on that node — the weak-node /
@@ -40,24 +54,84 @@ const DefaultDetectTimeoutNs = 1e6
 // (shared-memory) traffic is never affected: the faults modelled here
 // live on the network path. Overlapping active events multiply.
 type BWEvent struct {
-	Node    int     `json:"node"`              // >= 0: either endpoint on this node
-	Src     int     `json:"src"`               // link scope when Node < 0; -1 = any
-	Dst     int     `json:"dst"`               // link scope when Node < 0; -1 = any
-	Factor  float64 `json:"factor"`            // bandwidth multiplier in (0, 1]
-	FromNs  float64 `json:"from_ns"`           // window start (virtual ns)
+	Node    int     `json:"node"`               // >= 0: either endpoint on this node
+	Src     int     `json:"src"`                // link scope when Node < 0; -1 = any
+	Dst     int     `json:"dst"`                // link scope when Node < 0; -1 = any
+	Factor  float64 `json:"factor"`             // bandwidth multiplier in (0, 1]
+	FromNs  float64 `json:"from_ns"`            // window start (virtual ns)
 	UntilNs float64 `json:"until_ns,omitempty"` // window end; <= 0 means forever
 }
 
 // active reports whether the event applies to a transfer from srcNode to
 // dstNode beginning at virtual time `at`.
 func (e *BWEvent) active(srcNode, dstNode int, at float64) bool {
-	if at < e.FromNs || (e.UntilNs > 0 && at >= e.UntilNs) {
+	return scopeActive(e.Node, e.Src, e.Dst, e.FromNs, e.UntilNs, srcNode, dstNode, at)
+}
+
+// scopeActive implements the shared event-scope matcher: node scope
+// (node >= 0, either endpoint), link scope (node < 0, -1 wildcards) and
+// the [from, until) virtual-time window with until <= 0 meaning forever.
+func scopeActive(node, src, dst int, fromNs, untilNs float64, srcNode, dstNode int, at float64) bool {
+	if at < fromNs || (untilNs > 0 && at >= untilNs) {
 		return false
 	}
-	if e.Node >= 0 {
-		return srcNode == e.Node || dstNode == e.Node
+	if node >= 0 {
+		return srcNode == node || dstNode == node
 	}
-	return (e.Src < 0 || e.Src == srcNode) && (e.Dst < 0 || e.Dst == dstNode)
+	return (src < 0 || src == srcNode) && (dst < 0 || dst == dstNode)
+}
+
+// Loss makes part of the interconnect unreliable during a virtual-time
+// window: inter-node messages crossing a matching link are dropped,
+// duplicated, delivered out of order, or bit-corrupted in transit with
+// the given per-message probabilities, forcing the reliable transport
+// under internal/mpi to earn delivery through CRCs, acks and
+// retransmission. Scope and window follow BWEvent exactly (Node >= 0:
+// either endpoint on that node; Node < 0: Src->Dst link with -1
+// wildcards; UntilNs <= 0: forever). Intra-node traffic crosses shared
+// memory and is never lossy. Where events overlap, drop / duplicate /
+// corrupt / reorder probabilities combine as independent hazards
+// (1 - prod(1 - p)) and the largest reorder window wins.
+//
+// An event whose probabilities are all zero still activates the
+// transport on its links — sequence numbers, CRCs and acks are charged
+// even though nothing is ever lost — which is how the loss sweep
+// isolates pure protocol overhead.
+type Loss struct {
+	Node int `json:"node"`
+	Src  int `json:"src"`
+	Dst  int `json:"dst"`
+
+	DropProb    float64 `json:"drop_prob,omitempty"`    // frame vanishes in transit
+	DupProb     float64 `json:"dup_prob,omitempty"`     // frame delivered twice
+	CorruptProb float64 `json:"corrupt_prob,omitempty"` // payload bit flip; CRC catches it, handled as a drop
+	ReorderProb float64 `json:"reorder_prob,omitempty"` // frame overtaken; held for resequencing
+
+	// ReorderWindow bounds how many later frames may overtake a reordered
+	// one (the resequencing hold is up to ReorderWindow frame slots).
+	// Required >= 1 when ReorderProb > 0.
+	ReorderWindow int `json:"reorder_window,omitempty"`
+
+	FromNs  float64 `json:"from_ns"`
+	UntilNs float64 `json:"until_ns,omitempty"`
+}
+
+// active reports whether the event applies to a frame from srcNode to
+// dstNode sent at virtual time `at`.
+func (e *Loss) active(srcNode, dstNode int, at float64) bool {
+	return scopeActive(e.Node, e.Src, e.Dst, e.FromNs, e.UntilNs, srcNode, dstNode, at)
+}
+
+// LinkLoss is the combined unreliability of one link at one virtual
+// time, as seen by the transport: the per-frame event probabilities and
+// the reorder window. The zero LinkLoss is a clean (but still
+// transport-framed) link.
+type LinkLoss struct {
+	Drop    float64
+	Dup     float64
+	Corrupt float64
+	Reorder float64
+	Window  int
 }
 
 // Straggler multiplies one rank's computation cost: every Proc.Compute
@@ -97,12 +171,26 @@ type Plan struct {
 	// DetectTimeoutNs overrides DefaultDetectTimeoutNs for crash
 	// recovery; 0 keeps the default.
 	DetectTimeoutNs float64 `json:"detect_timeout_ns,omitempty"`
+
+	// Loss makes links unreliable; any entry (even all-zero
+	// probabilities) switches the reliable transport on for inter-node
+	// point-to-point traffic.
+	Loss []Loss `json:"loss,omitempty"`
+
+	// Reliable-transport tuning; 0 keeps the Default* constants. These
+	// change how the transport paces retries, not whether it runs, so —
+	// like DetectTimeoutNs — they do not affect Empty.
+	RetransmitTimeoutNs float64 `json:"retransmit_timeout_ns,omitempty"` // first retry timeout
+	RetransmitBackoff   float64 `json:"retransmit_backoff,omitempty"`    // timeout multiplier per retry, >= 1
+	RetryBudget         int     `json:"retry_budget,omitempty"`          // max transmissions per frame
 }
 
-// Empty reports whether the plan injects nothing at all.
+// Empty reports whether the plan injects nothing at all. Tuning-only
+// fields (DetectTimeoutNs, Retransmit*, RetryBudget) don't count: they
+// configure machinery that only engages when events exist.
 func (p Plan) Empty() bool {
 	return len(p.BW) == 0 && len(p.Stragglers) == 0 &&
-		p.JitterMaxNs == 0 && len(p.Crashes) == 0
+		p.JitterMaxNs == 0 && len(p.Crashes) == 0 && len(p.Loss) == 0
 }
 
 // Validate checks the plan against a world of `ranks` ranks. Bandwidth
@@ -146,19 +234,63 @@ func (p Plan) Validate(ranks int) error {
 	if p.DetectTimeoutNs < 0 {
 		return fmt.Errorf("fault: negative DetectTimeoutNs %g", p.DetectTimeoutNs)
 	}
+	for i, e := range p.Loss {
+		for _, f := range [...]struct {
+			name string
+			p    float64
+		}{
+			{"drop_prob", e.DropProb},
+			{"dup_prob", e.DupProb},
+			{"corrupt_prob", e.CorruptProb},
+			{"reorder_prob", e.ReorderProb},
+		} {
+			if f.p < 0 || f.p > 1 {
+				return fmt.Errorf("fault: loss event %d: %s %g outside [0, 1]", i, f.name, f.p)
+			}
+		}
+		if e.ReorderWindow < 0 {
+			return fmt.Errorf("fault: loss event %d: negative reorder window %d", i, e.ReorderWindow)
+		}
+		if e.ReorderProb > 0 && e.ReorderWindow < 1 {
+			return fmt.Errorf("fault: loss event %d: reorder_prob %g needs reorder_window >= 1",
+				i, e.ReorderProb)
+		}
+		if e.FromNs < 0 {
+			return fmt.Errorf("fault: loss event %d: negative start %g", i, e.FromNs)
+		}
+		if e.UntilNs > 0 && e.UntilNs <= e.FromNs {
+			return fmt.Errorf("fault: loss event %d: window [%g, %g) is empty", i, e.FromNs, e.UntilNs)
+		}
+	}
+	if p.RetransmitTimeoutNs < 0 {
+		return fmt.Errorf("fault: negative RetransmitTimeoutNs %g", p.RetransmitTimeoutNs)
+	}
+	if p.RetransmitBackoff != 0 && p.RetransmitBackoff < 1 {
+		return fmt.Errorf("fault: RetransmitBackoff %g below 1 would shrink timeouts", p.RetransmitBackoff)
+	}
+	if p.RetryBudget < 0 {
+		return fmt.Errorf("fault: negative RetryBudget %d", p.RetryBudget)
+	}
 	return nil
 }
 
 // Merge returns the union of p and o: concatenated event lists, o's
-// seed and detection timeout when set, and the larger jitter bound.
+// seed and tuning overrides when set, and the larger jitter bound.
+// Crashes are deduplicated to the earliest per rank: both plans arming a
+// crash for the same rank must yield one fault and one recovery, not a
+// recovered run that immediately dies again to the later duplicate.
 func (p Plan) Merge(o Plan) Plan {
 	m := Plan{
-		Seed:            p.Seed,
-		BW:              append(append([]BWEvent(nil), p.BW...), o.BW...),
-		Stragglers:      append(append([]Straggler(nil), p.Stragglers...), o.Stragglers...),
-		JitterMaxNs:     math.Max(p.JitterMaxNs, o.JitterMaxNs),
-		Crashes:         append(append([]Crash(nil), p.Crashes...), o.Crashes...),
-		DetectTimeoutNs: p.DetectTimeoutNs,
+		Seed:                p.Seed,
+		BW:                  append(append([]BWEvent(nil), p.BW...), o.BW...),
+		Stragglers:          append(append([]Straggler(nil), p.Stragglers...), o.Stragglers...),
+		JitterMaxNs:         math.Max(p.JitterMaxNs, o.JitterMaxNs),
+		Crashes:             dedupeCrashes(p.Crashes, o.Crashes),
+		DetectTimeoutNs:     p.DetectTimeoutNs,
+		Loss:                append(append([]Loss(nil), p.Loss...), o.Loss...),
+		RetransmitTimeoutNs: p.RetransmitTimeoutNs,
+		RetransmitBackoff:   p.RetransmitBackoff,
+		RetryBudget:         p.RetryBudget,
 	}
 	if o.Seed != 0 {
 		m.Seed = o.Seed
@@ -166,7 +298,39 @@ func (p Plan) Merge(o Plan) Plan {
 	if o.DetectTimeoutNs > 0 {
 		m.DetectTimeoutNs = o.DetectTimeoutNs
 	}
+	if o.RetransmitTimeoutNs > 0 {
+		m.RetransmitTimeoutNs = o.RetransmitTimeoutNs
+	}
+	if o.RetransmitBackoff > 0 {
+		m.RetransmitBackoff = o.RetransmitBackoff
+	}
+	if o.RetryBudget > 0 {
+		m.RetryBudget = o.RetryBudget
+	}
 	return m
+}
+
+// dedupeCrashes concatenates two crash lists keeping only the earliest
+// crash per rank, ordered by rank.
+func dedupeCrashes(a, b []Crash) []Crash {
+	n := len(a) + len(b)
+	if n == 0 {
+		return nil
+	}
+	earliest := make(map[int]float64, n)
+	for _, list := range [2][]Crash{a, b} {
+		for _, c := range list {
+			if t, ok := earliest[c.Rank]; !ok || c.AtNs < t {
+				earliest[c.Rank] = c.AtNs
+			}
+		}
+	}
+	out := make([]Crash, 0, len(earliest))
+	for r, t := range earliest {
+		out = append(out, Crash{Rank: r, AtNs: t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
 }
 
 // WeakNode returns the plan equivalent of machine.Config's WeakNode
@@ -180,16 +344,52 @@ func WeakNode(node int, factor float64) Plan {
 	return Plan{BW: []BWEvent{{Node: node, Src: -1, Dst: -1, Factor: factor}}}
 }
 
-// Error is the structured failure a crash injection produces — the
+// Lossy returns a plan that makes every inter-node link unreliable at
+// the given per-frame drop rate, with duplication, corruption and
+// bounded reordering scaled from it — the canonical shape the loss
+// sweep (experiments.ExtLoss) and the README examples use. rate 0
+// still activates the transport (protocol overhead, no loss).
+func Lossy(seed uint64, rate float64) Plan {
+	return Plan{
+		Seed: seed,
+		Loss: []Loss{{
+			Node: -1, Src: -1, Dst: -1,
+			DropProb:      rate,
+			DupProb:       rate / 2,
+			CorruptProb:   rate / 4,
+			ReorderProb:   rate,
+			ReorderWindow: 4,
+		}},
+	}
+}
+
+// ErrorKind distinguishes the modelled failures an Error can carry.
+type ErrorKind int
+
+const (
+	// KindCrash is a scheduled rank death (Plan.Crashes) — recoverable
+	// from a checkpoint, because the rank restarts.
+	KindCrash ErrorKind = iota
+	// KindLinkLoss is a reliable-transport retry-budget exhaustion: a
+	// link so lossy the sender declared its peer unreachable. Not
+	// recoverable by checkpoint replay — the link stays dead.
+	KindLinkLoss
+)
+
+// Error is the structured failure a fault injection produces — the
 // replacement for an opaque abort panic, so callers can tell a modelled
-// fault from a programming bug and decide to recover.
+// fault from a programming bug and decide whether to recover.
 type Error struct {
-	Rank int     // the crashed rank
-	AtNs float64 // the crash's scheduled virtual time (from the Plan)
+	Rank int       // the rank that died or gave up
+	AtNs float64   // the failure's virtual time
+	Kind ErrorKind // what happened; zero value is KindCrash
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string {
+	if e.Kind == KindLinkLoss {
+		return fmt.Sprintf("fault: rank %d exhausted its retry budget at %.0f virtual ns (link peer unreachable)", e.Rank, e.AtNs)
+	}
 	return fmt.Sprintf("fault: rank %d crashed at %.0f virtual ns", e.Rank, e.AtNs)
 }
 
@@ -299,6 +499,94 @@ func (in *Injector) JitterNs(src, dst int, sentNs float64, bytes int64) float64 
 	h ^= math.Float64bits(sentNs) + uint64(bytes)
 	u := xrand.NewSplitMix64(h).Uint64()
 	return in.jitterMax * (float64(u>>11) / (1 << 53))
+}
+
+// Reliable reports whether the plan activates the reliable transport:
+// any Loss event, even one with all-zero probabilities, turns framing,
+// acks and retransmission on for inter-node point-to-point traffic.
+func (in *Injector) Reliable() bool {
+	return in != nil && len(in.plan.Loss) > 0
+}
+
+// LossAt returns the combined unreliability of the srcNode -> dstNode
+// link for a frame sent at virtual time `at`. Overlapping events
+// combine as independent hazards; the widest reorder window wins.
+func (in *Injector) LossAt(srcNode, dstNode int, at float64) LinkLoss {
+	var l LinkLoss
+	if in == nil {
+		return l
+	}
+	keepDrop, keepDup, keepCorrupt, keepReorder := 1.0, 1.0, 1.0, 1.0
+	for i := range in.plan.Loss {
+		e := &in.plan.Loss[i]
+		if !e.active(srcNode, dstNode, at) {
+			continue
+		}
+		keepDrop *= 1 - e.DropProb
+		keepDup *= 1 - e.DupProb
+		keepCorrupt *= 1 - e.CorruptProb
+		keepReorder *= 1 - e.ReorderProb
+		if e.ReorderWindow > l.Window {
+			l.Window = e.ReorderWindow
+		}
+	}
+	l.Drop = 1 - keepDrop
+	l.Dup = 1 - keepDup
+	l.Corrupt = 1 - keepCorrupt
+	l.Reorder = 1 - keepReorder
+	return l
+}
+
+// Transport-draw purposes: distinct hash lanes so one frame's drop,
+// corruption, duplication and reorder fates are independent draws.
+const (
+	DrawDrop uint64 = iota + 1
+	DrawCorrupt
+	DrawDup
+	DrawReorder
+)
+
+// TransportDraw returns a deterministic uniform draw in [0, 1) for one
+// transmission attempt of one frame. Like JitterNs, the draw hashes the
+// frame identity — endpoints, sender post time, payload size, attempt
+// number and purpose — with the plan seed instead of consuming a
+// stateful stream, so transport fates depend only on virtual time:
+// never on host scheduling, delivery races, or how far an aborted run
+// got before crash recovery replayed it.
+func (in *Injector) TransportDraw(purpose uint64, src, dst int, sentNs float64, bytes int64, attempt int) float64 {
+	h := in.seed ^ purpose*0xd6e8feb86659fd93
+	h ^= uint64(src)*0x9e3779b97f4a7c15 + uint64(dst)*0xbf58476d1ce4e5b9
+	h ^= math.Float64bits(sentNs) + uint64(bytes)
+	h += uint64(attempt) * 0x94d049bb133111eb
+	u := xrand.NewSplitMix64(h).Uint64()
+	return float64(u>>11) / (1 << 53)
+}
+
+// RetransmitTimeoutNs returns the transport's first retry timeout, or
+// the default.
+func (in *Injector) RetransmitTimeoutNs() float64 {
+	if in == nil || in.plan.RetransmitTimeoutNs <= 0 {
+		return DefaultRetransmitTimeoutNs
+	}
+	return in.plan.RetransmitTimeoutNs
+}
+
+// RetransmitBackoff returns the per-retry timeout multiplier, or the
+// default.
+func (in *Injector) RetransmitBackoff() float64 {
+	if in == nil || in.plan.RetransmitBackoff <= 0 {
+		return DefaultRetransmitBackoff
+	}
+	return in.plan.RetransmitBackoff
+}
+
+// RetryBudget returns the maximum transmissions of one frame before the
+// sender gives up, or the default.
+func (in *Injector) RetryBudget() int {
+	if in == nil || in.plan.RetryBudget <= 0 {
+		return DefaultRetryBudget
+	}
+	return in.plan.RetryBudget
 }
 
 // NextCrash returns the virtual time of the earliest still-armed crash

@@ -3,6 +3,7 @@ package fault
 import (
 	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -29,7 +30,7 @@ func TestPlanEmpty(t *testing.T) {
 func TestPlanValidate(t *testing.T) {
 	bad := []Plan{
 		{BW: []BWEvent{{Node: 0, Factor: 0}}},
-		{BW: []BWEvent{{Node: 0, Factor: 1.5}}},          // the 80-for-0.8 typo class
+		{BW: []BWEvent{{Node: 0, Factor: 1.5}}}, // the 80-for-0.8 typo class
 		{BW: []BWEvent{{Node: 0, Factor: 0.5, FromNs: -1}}},
 		{BW: []BWEvent{{Node: 0, Factor: 0.5, FromNs: 5, UntilNs: 5}}},
 		{Stragglers: []Straggler{{Rank: 0, Factor: 0}}},
@@ -81,7 +82,7 @@ func TestWeakNodePlan(t *testing.T) {
 func TestLinkFactorWindowsAndScope(t *testing.T) {
 	p := Plan{BW: []BWEvent{
 		{Node: 1, Src: -1, Dst: -1, Factor: 0.5, FromNs: 100, UntilNs: 200}, // brown-out
-		{Node: -1, Src: 0, Dst: 2, Factor: 0.25},                           // directed link, forever
+		{Node: -1, Src: 0, Dst: 2, Factor: 0.25},                            // directed link, forever
 	}}
 	in, err := NewInjector(p, 0)
 	if err != nil {
@@ -267,5 +268,247 @@ func TestErrorMessage(t *testing.T) {
 	e := &Error{Rank: 3, AtNs: 1.5e6}
 	if e.Error() == "" || math.IsNaN(e.AtNs) {
 		t.Error("empty error message")
+	}
+}
+
+func TestPlanEmptyWithLoss(t *testing.T) {
+	if (Plan{Loss: []Loss{{Node: -1, Src: -1, Dst: -1}}}).Empty() {
+		t.Error("a loss event (even all-zero probabilities) must make the plan non-empty")
+	}
+	// Transport tuning alone configures machinery that never engages, so
+	// it keeps the plan empty — the DetectTimeoutNs precedent.
+	if !(Plan{RetransmitTimeoutNs: 5e3, RetransmitBackoff: 1.5, RetryBudget: 8}).Empty() {
+		t.Error("transport tuning alone should not make a plan non-empty")
+	}
+}
+
+func TestPlanValidateLoss(t *testing.T) {
+	bad := []Plan{
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, DropProb: -0.1}}},
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, DropProb: 1.5}}},
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, DupProb: 2}}},
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, CorruptProb: -1}}},
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, ReorderProb: 1.01, ReorderWindow: 4}}},
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, ReorderWindow: -2}}},
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, ReorderProb: 0.5}}}, // reorder without a window
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, DropProb: 0.1, FromNs: -5}}},
+		{Loss: []Loss{{Node: -1, Src: -1, Dst: -1, DropProb: 0.1, FromNs: 9, UntilNs: 9}}},
+		{RetransmitTimeoutNs: -1},
+		{RetransmitBackoff: 0.5},
+		{RetryBudget: -3},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("bad loss plan %d validated: %+v", i, p)
+		}
+	}
+	good := []Plan{
+		Lossy(1, 0.05),
+		Lossy(1, 0), // transport on, nothing lost
+		{Loss: []Loss{{Node: 2, Src: -1, Dst: -1, DropProb: 1, FromNs: 100, UntilNs: 200}}}, // total brown-out window
+		{Loss: []Loss{{Node: -1, Src: 0, Dst: 1, CorruptProb: 0.3}}, RetransmitTimeoutNs: 1e3, RetransmitBackoff: 1, RetryBudget: 2},
+	}
+	for i, p := range good {
+		if err := p.Validate(4); err != nil {
+			t.Errorf("good loss plan %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestMergeLossAndTuning(t *testing.T) {
+	a := Plan{Loss: []Loss{{Node: 0, Src: -1, Dst: -1, DropProb: 0.1}}, RetransmitTimeoutNs: 7e3}
+	b := Plan{Loss: []Loss{{Node: 1, Src: -1, Dst: -1, DupProb: 0.2}}, RetransmitBackoff: 3, RetryBudget: 5}
+	m := a.Merge(b)
+	if len(m.Loss) != 2 {
+		t.Fatalf("merged loss events = %d, want 2", len(m.Loss))
+	}
+	if m.RetransmitTimeoutNs != 7e3 || m.RetransmitBackoff != 3 || m.RetryBudget != 5 {
+		t.Errorf("tuning merge: rto %g backoff %g budget %d", m.RetransmitTimeoutNs, m.RetransmitBackoff, m.RetryBudget)
+	}
+	// o's tuning wins when both set.
+	m2 := Plan{RetransmitTimeoutNs: 1}.Merge(Plan{RetransmitTimeoutNs: 2})
+	if m2.RetransmitTimeoutNs != 2 {
+		t.Errorf("o's RetransmitTimeoutNs should win: %g", m2.RetransmitTimeoutNs)
+	}
+	m.Loss[0].DropProb = 0.9
+	if a.Loss[0].DropProb != 0.1 {
+		t.Error("Merge aliased the receiver's Loss slice")
+	}
+}
+
+// TestMergeDedupesCrashes is the regression test for the duplicate-crash
+// bug: merging two plans that both arm a crash for the same rank used to
+// concatenate both events, so the recovered run immediately died again
+// to the duplicate. Merge now keeps the earliest crash per rank.
+func TestMergeDedupesCrashes(t *testing.T) {
+	a := Plan{Crashes: []Crash{{Rank: 2, AtNs: 500}, {Rank: 0, AtNs: 900}}}
+	b := Plan{Crashes: []Crash{{Rank: 2, AtNs: 300}, {Rank: 1, AtNs: 50}}}
+	m := a.Merge(b)
+	want := []Crash{{Rank: 0, AtNs: 900}, {Rank: 1, AtNs: 50}, {Rank: 2, AtNs: 300}}
+	if len(m.Crashes) != len(want) {
+		t.Fatalf("merged crashes = %+v, want %+v", m.Crashes, want)
+	}
+	for i := range want {
+		if m.Crashes[i] != want[i] {
+			t.Fatalf("crash %d = %+v, want %+v (earliest per rank, rank order)", i, m.Crashes[i], want[i])
+		}
+	}
+	// Merging with an empty plan still dedupes self-duplicates.
+	m2 := Plan{Crashes: []Crash{{Rank: 3, AtNs: 9}, {Rank: 3, AtNs: 4}}}.Merge(Plan{})
+	if len(m2.Crashes) != 1 || m2.Crashes[0] != (Crash{Rank: 3, AtNs: 4}) {
+		t.Fatalf("self-duplicate survived merge: %+v", m2.Crashes)
+	}
+	if (Plan{}).Merge(Plan{}).Crashes != nil {
+		t.Error("empty merge should keep a nil crash list")
+	}
+}
+
+func TestLossAtScopeAndCombination(t *testing.T) {
+	p := Plan{Loss: []Loss{
+		{Node: 1, Src: -1, Dst: -1, DropProb: 0.5, FromNs: 100, UntilNs: 200},
+		{Node: -1, Src: 0, Dst: 2, DropProb: 0.5, DupProb: 0.25, ReorderProb: 0.1, ReorderWindow: 3},
+	}}
+	in, err := NewInjector(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := in.LossAt(1, 0, 50); l != (LinkLoss{}) {
+		t.Errorf("before window: %+v", l)
+	}
+	if l := in.LossAt(1, 0, 100); l.Drop != 0.5 {
+		t.Errorf("window start inclusive: %+v", l)
+	}
+	if l := in.LossAt(0, 2, 1e9); l.Drop != 0.5 || l.Dup != 0.25 || l.Window != 3 {
+		t.Errorf("directed link: %+v", l)
+	}
+	if l := in.LossAt(2, 0, 1e9); l != (LinkLoss{}) {
+		t.Errorf("reverse of directed link: %+v", l)
+	}
+	// Inside the window both events hit the 0->2... no: src 0 dst 2 does
+	// not touch node 1. Use 1->2 at 150: only the brown-out applies.
+	if l := in.LossAt(1, 2, 150); l.Drop != 0.5 || l.Dup != 0 {
+		t.Errorf("endpoint-1 frame at 150: %+v", l)
+	}
+	// Overlap: two 0.5 drops combine as independent hazards.
+	p2 := Plan{Loss: []Loss{
+		{Node: 0, Src: -1, Dst: -1, DropProb: 0.5},
+		{Node: -1, Src: 0, Dst: 1, DropProb: 0.5, ReorderProb: 0.2, ReorderWindow: 2},
+	}}
+	in2, _ := NewInjector(p2, 0)
+	if l := in2.LossAt(0, 1, 0); math.Abs(l.Drop-0.75) > 1e-12 || l.Window != 2 {
+		t.Errorf("overlap: %+v, want drop 0.75 window 2", l)
+	}
+	var nilInj *Injector
+	if nilInj.LossAt(0, 1, 0) != (LinkLoss{}) || nilInj.Reliable() {
+		t.Error("nil injector must be loss-free and unreliable-transport-off")
+	}
+}
+
+func TestReliableSwitch(t *testing.T) {
+	in, _ := NewInjector(Plan{JitterMaxNs: 5}, 0)
+	if in.Reliable() {
+		t.Error("plan without loss events must not activate the transport")
+	}
+	in2, _ := NewInjector(Lossy(1, 0), 0)
+	if !in2.Reliable() {
+		t.Error("zero-rate loss event must still activate the transport")
+	}
+}
+
+func TestTransportDrawDeterministicBoundedIndependent(t *testing.T) {
+	in, _ := NewInjector(Lossy(42, 0.05), 0)
+	seen := map[float64]bool{}
+	for attempt := 1; attempt <= 100; attempt++ {
+		d := in.TransportDraw(DrawDrop, 1, 2, 1234.5, 999, attempt)
+		if d < 0 || d >= 1 {
+			t.Fatalf("draw %g outside [0, 1)", d)
+		}
+		if d2 := in.TransportDraw(DrawDrop, 1, 2, 1234.5, 999, attempt); d2 != d {
+			t.Fatalf("draw not deterministic: %g then %g", d, d2)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 95 {
+		t.Errorf("only %d distinct draws across 100 attempts", len(seen))
+	}
+	// Purposes are independent hash lanes.
+	if in.TransportDraw(DrawDrop, 1, 2, 10, 8, 1) == in.TransportDraw(DrawDup, 1, 2, 10, 8, 1) {
+		t.Error("purposes share a hash lane")
+	}
+	// Seed drives the draws.
+	in2, _ := NewInjector(Lossy(43, 0.05), 0)
+	if in.TransportDraw(DrawDrop, 1, 2, 10, 8, 1) == in2.TransportDraw(DrawDrop, 1, 2, 10, 8, 1) {
+		t.Error("seed does not drive the transport hash")
+	}
+}
+
+func TestTransportTuningDefaults(t *testing.T) {
+	in, _ := NewInjector(Plan{}, 0)
+	if in.RetransmitTimeoutNs() != DefaultRetransmitTimeoutNs ||
+		in.RetransmitBackoff() != DefaultRetransmitBackoff ||
+		in.RetryBudget() != DefaultRetryBudget {
+		t.Error("tuning defaults not applied")
+	}
+	in2, _ := NewInjector(Plan{RetransmitTimeoutNs: 5e3, RetransmitBackoff: 1.5, RetryBudget: 3}, 0)
+	if in2.RetransmitTimeoutNs() != 5e3 || in2.RetransmitBackoff() != 1.5 || in2.RetryBudget() != 3 {
+		t.Error("plan tuning not honored")
+	}
+	var nilInj *Injector
+	if nilInj.RetransmitTimeoutNs() != DefaultRetransmitTimeoutNs || nilInj.RetryBudget() != DefaultRetryBudget {
+		t.Error("nil injector tuning defaults")
+	}
+}
+
+func TestLossyHelper(t *testing.T) {
+	p := Lossy(7, 0.04)
+	if err := p.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Loss) != 1 {
+		t.Fatalf("Lossy shape: %+v", p)
+	}
+	e := p.Loss[0]
+	if e.DropProb != 0.04 || e.DupProb != 0.02 || e.CorruptProb != 0.01 || e.ReorderProb != 0.04 || e.ReorderWindow != 4 {
+		t.Errorf("Lossy rates: %+v", e)
+	}
+	if e.Node != -1 || e.Src != -1 || e.Dst != -1 {
+		t.Errorf("Lossy must cover every link: %+v", e)
+	}
+}
+
+func TestLossJSONRoundTrip(t *testing.T) {
+	p := Plan{
+		Seed:                3,
+		Loss:                []Loss{{Node: -1, Src: 0, Dst: 1, DropProb: 0.02, DupProb: 0.01, CorruptProb: 0.005, ReorderProb: 0.02, ReorderWindow: 4, FromNs: 10, UntilNs: 20}},
+		RetransmitTimeoutNs: 9e3,
+		RetransmitBackoff:   1.5,
+		RetryBudget:         6,
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Plan
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Loss) != 1 || q.Loss[0] != p.Loss[0] ||
+		q.RetransmitTimeoutNs != p.RetransmitTimeoutNs ||
+		q.RetransmitBackoff != p.RetransmitBackoff || q.RetryBudget != p.RetryBudget {
+		t.Errorf("round trip lost data: %+v -> %s -> %+v", p, data, q)
+	}
+}
+
+func TestErrorKinds(t *testing.T) {
+	crash := &Error{Rank: 3, AtNs: 1.5e6}
+	if crash.Kind != KindCrash {
+		t.Error("zero Kind must be KindCrash for backward compatibility")
+	}
+	loss := &Error{Rank: 1, AtNs: 2e6, Kind: KindLinkLoss}
+	if crash.Error() == loss.Error() {
+		t.Error("kinds must render distinct messages")
+	}
+	if !strings.Contains(loss.Error(), "retry budget") {
+		t.Errorf("link-loss message: %q", loss.Error())
 	}
 }

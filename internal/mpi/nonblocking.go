@@ -74,15 +74,10 @@ func (r *Request) Wait() {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, r.tag, r.src, m.tag))
 	}
 	begin := maxf(m.sent, r.postClock)
-	dur := p.w.net.TransferTimeAt(begin, m.bytes, p.w.procs[m.src].node, p.node, m.streams)
-	if j := p.w.inj.JitterNs(m.src, p.rank, m.sent, m.bytes); j != 0 {
-		dur += j
-	}
-	p.w.net.CountRaw(m.raw, p.w.procs[m.src].node == p.node)
-	end := begin + dur
-	m.ack <- end
-	if end > p.clock {
-		p.clock = end
+	recvEnd, sendEnd := p.deliver(m, begin)
+	m.ack <- sendEnd
+	if recvEnd > p.clock {
+		p.clock = recvEnd
 	}
 	p.commNs += p.clock - start
 	if r.out != nil {

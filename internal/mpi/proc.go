@@ -39,6 +39,7 @@ type Proc struct {
 
 	clock     float64 // virtual ns
 	commNs    float64 // cumulative time spent inside Send/Recv/Barrier
+	xportNs   float64 // reliable-transport share of commNs (retransmit waits, holds, acks)
 	sentBytes int64   // cumulative bytes sent by this rank
 
 	// obs is the rank's observability stream; nil (the disabled
@@ -80,6 +81,12 @@ func (p *Proc) Clock() float64 { return p.clock }
 // CommNs returns the cumulative virtual time this rank has spent inside
 // communication calls (including waiting for partners).
 func (p *Proc) CommNs() float64 { return p.commNs }
+
+// XportNs returns the reliable transport's cumulative share of CommNs:
+// retransmission waits, resequencer holds and ack round-trips. Zero
+// unless the fault plan declares lossy links. Callers diff it around a
+// communication section to attribute transport stall to a phase.
+func (p *Proc) XportNs() float64 { return p.xportNs }
 
 // SentBytes returns the cumulative payload bytes this rank has sent.
 func (p *Proc) SentBytes() int64 { return p.sentBytes }
@@ -191,15 +198,10 @@ func (p *Proc) Recv(src, tag int) Msg {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, tag, src, m.tag))
 	}
 	begin := maxf(m.sent, p.clock)
-	dur := p.w.net.TransferTimeAt(begin, m.bytes, p.w.procs[src].node, p.node, m.streams)
-	if j := p.w.inj.JitterNs(m.src, p.rank, m.sent, m.bytes); j != 0 {
-		dur += j
-	}
-	p.w.net.CountRaw(m.raw, p.w.procs[src].node == p.node)
-	end := begin + dur
-	m.ack <- end
-	p.clock = end
-	p.commNs += end - start
+	recvEnd, sendEnd := p.deliver(m, begin)
+	m.ack <- sendEnd
+	p.clock = recvEnd
+	p.commNs += recvEnd - start
 	return Msg{Src: m.src, Tag: m.tag, Bytes: m.bytes, Payload: m.payload}
 }
 
@@ -233,13 +235,8 @@ func (p *Proc) sendRecv(dst, sendTag int, wire, raw int64, payload any, src, rec
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", p.rank, recvTag, src, in.tag))
 	}
 	begin := maxf(in.sent, p.clock)
-	dur := p.w.net.TransferTimeAt(begin, in.bytes, p.w.procs[src].node, p.node, in.streams)
-	if j := p.w.inj.JitterNs(in.src, p.rank, in.sent, in.bytes); j != 0 {
-		dur += j
-	}
-	p.w.net.CountRaw(in.raw, p.w.procs[src].node == p.node)
-	recvEnd := begin + dur
-	in.ack <- recvEnd
+	recvEnd, inSendEnd := p.deliver(in, begin)
+	in.ack <- inSendEnd
 
 	sendEnd := p.await(m.ack)
 	p.clock = maxf(recvEnd, sendEnd)

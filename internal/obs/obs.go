@@ -118,6 +118,16 @@ type Comm struct {
 	Collectives map[string]int64
 	// Faults counts injected-fault events by kind ("crash", "recover").
 	Faults map[string]int64
+	// Reliable-transport counters, filled only under a loss plan. The
+	// receiver of a message records its protocol outcomes, so per-rank
+	// values attribute transport work to the rank that waited for it.
+	Retransmits      int64   // data frames received beyond each message's first attempt
+	CorruptDetected  int64   // frames that failed the CRC (handled as drops)
+	DupsDelivered    int64   // duplicate frame deliveries discarded
+	Reordered        int64   // frames held for resequencing
+	Acks             int64   // ack frames sent back to the sender
+	XportOverheadNs  float64 // extra delivery latency versus a clean link (retransmit waits, holds, acks)
+	XportOverheadBys int64   // protocol bytes (headers, retransmits, dups, acks) this rank received
 }
 
 // merge adds o's counters into c (BarrierWaits samples included).
@@ -144,6 +154,13 @@ func (c *Comm) merge(o *Comm) {
 		}
 		c.Faults[name] += n
 	}
+	c.Retransmits += o.Retransmits
+	c.CorruptDetected += o.CorruptDetected
+	c.DupsDelivered += o.DupsDelivered
+	c.Reordered += o.Reordered
+	c.Acks += o.Acks
+	c.XportOverheadNs += o.XportOverheadNs
+	c.XportOverheadBys += o.XportOverheadBys
 }
 
 // Recorder collects observability sessions. The zero Recorder is ready
@@ -322,6 +339,24 @@ func (r *Rank) NodeBarrierWait(ns float64) {
 	}
 	r.comm.NodeBarriers++
 	r.comm.NodeBarrierWaitNs += ns
+}
+
+// Xport records the reliable-transport outcomes of one received
+// message: retransmitted frames (corrupt of them CRC-failed), discarded
+// duplicates, resequencing holds, acks sent, the protocol bytes and the
+// extra latency versus a clean link. Called by the receiving rank, once
+// per message, only when a loss plan is active.
+func (r *Rank) Xport(retrans, corrupt, dups, reorders, acks, overheadBytes int64, overheadNs float64) {
+	if r == nil {
+		return
+	}
+	r.comm.Retransmits += retrans
+	r.comm.CorruptDetected += corrupt
+	r.comm.DupsDelivered += dups
+	r.comm.Reordered += reorders
+	r.comm.Acks += acks
+	r.comm.XportOverheadBys += overheadBytes
+	r.comm.XportOverheadNs += overheadNs
 }
 
 // FaultEvent records one injected-fault instant ("crash", "recover") at

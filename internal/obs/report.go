@@ -55,6 +55,15 @@ type SessionReport struct {
 	// per-rank load-imbalance attribution of Fig. 11.
 	StallNsByRank []float64 `json:"stall_ns_by_rank"`
 
+	// Transport aggregates the reliable-transport counters over all
+	// ranks; absent without a loss plan. RetransStallNsByRank is each
+	// rank's extra receive latency versus a clean link (retransmission
+	// waits, resequencing holds, acks) — the per-rank attribution of
+	// where lossy links actually cost time.
+	Transport            map[string]int64 `json:"transport,omitempty"`
+	XportOverheadBytes   int64            `json:"transport_overhead_bytes,omitempty"`
+	RetransStallNsByRank []float64        `json:"retrans_stall_ns_by_rank,omitempty"`
+
 	// Levels is the critical-path table, aggregated across roots by
 	// level index.
 	Levels []LevelReport `json:"levels,omitempty"`
@@ -167,6 +176,21 @@ func buildSessionReport(s *Session) SessionReport {
 	}
 	sr.Collectives = comm.Collectives
 	sr.Faults = comm.Faults
+	if comm.Retransmits != 0 || comm.Acks != 0 || comm.DupsDelivered != 0 ||
+		comm.CorruptDetected != 0 || comm.Reordered != 0 {
+		sr.Transport = map[string]int64{
+			"retransmits":      comm.Retransmits,
+			"corrupt-detected": comm.CorruptDetected,
+			"dups-delivered":   comm.DupsDelivered,
+			"reordered":        comm.Reordered,
+			"acks":             comm.Acks,
+		}
+		sr.XportOverheadBytes = comm.XportOverheadBys
+		sr.RetransStallNsByRank = make([]float64, len(s.ranks))
+		for _, rk := range s.ranks {
+			sr.RetransStallNsByRank[rk.ID] = rk.comm.XportOverheadNs
+		}
+	}
 	sr.BarrierCount = comm.Barriers
 	if comm.Barriers > 0 {
 		sr.BarrierP50Ns = stats.Percentile(comm.BarrierWaits, 50)
@@ -333,6 +357,29 @@ func (sr *SessionReport) render(b *strings.Builder) {
 			fmt.Fprintf(b, "  %s=%d", kind, sr.Faults[kind])
 		}
 		b.WriteByte('\n')
+	}
+
+	if len(sr.Transport) > 0 {
+		keys := make([]string, 0, len(sr.Transport))
+		for k := range sr.Transport {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(b, "transport:")
+		for _, k := range keys {
+			fmt.Fprintf(b, "  %s=%d", k, sr.Transport[k])
+		}
+		fmt.Fprintf(b, "  overhead=%.2f MiB\n", float64(sr.XportOverheadBytes)/(1<<20))
+		if n := len(sr.RetransStallNsByRank); n > 0 {
+			worst, worstNs := 0, sr.RetransStallNsByRank[0]
+			for rk, ns := range sr.RetransStallNsByRank {
+				if ns > worstNs {
+					worst, worstNs = rk, ns
+				}
+			}
+			fmt.Fprintf(b, "retransmit stall: mean/rank=%.3fms  worst rank %d=%.3fms\n",
+				stats.Mean(sr.RetransStallNsByRank)/1e6, worst, worstNs/1e6)
+		}
 	}
 
 	if sr.BarrierCount > 0 {

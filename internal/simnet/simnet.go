@@ -44,6 +44,19 @@ type Network struct {
 	rawInterBytes atomic.Int64
 
 	degradedMsgs atomic.Int64 // inter-node messages sent at reduced bandwidth
+
+	// Reliable-transport ledger (internal/mpi under a fault.Plan with
+	// Loss events). Protocol traffic — frame headers, retransmitted
+	// frames, duplicates and acks — lands in interBytes like any wire
+	// traffic; xportOverheadBytes records how much of interBytes it is,
+	// so goodput = InterBytes - XportOverheadBytes and the goodput /
+	// raw-wire split mirrors the compression ledger's wire / raw split.
+	xportOverheadBytes atomic.Int64
+	xportRetransmits   atomic.Int64 // frames sent beyond the first attempt
+	xportCorruptions   atomic.Int64 // frames delivered corrupted, caught by CRC
+	xportDuplicates    atomic.Int64 // duplicate frame deliveries
+	xportReorders      atomic.Int64 // frames held for resequencing
+	xportAcks          atomic.Int64 // ack frames
 }
 
 // New returns a network over cfg. The testbed's ill-performing node
@@ -140,6 +153,45 @@ func (n *Network) CountRaw(bytes int64, intra bool) {
 	n.rawInterBytes.Add(bytes)
 }
 
+// CountXportOverhead attributes `bytes` of already-charged wire traffic
+// to the reliable-transport protocol (frame headers, retransmissions,
+// duplicates, acks). The transport calls it next to the TransferTimeAt
+// charges it accounts for.
+func (n *Network) CountXportOverhead(bytes int64) { n.xportOverheadBytes.Add(bytes) }
+
+// CountXportEvents adds one batch of per-message transport outcomes:
+// retransmitted frames (of which `corruptions` arrived but failed the
+// CRC), duplicate deliveries, resequencing holds and ack frames.
+func (n *Network) CountXportEvents(retransmits, corruptions, duplicates, reorders, acks int64) {
+	if retransmits != 0 {
+		n.xportRetransmits.Add(retransmits)
+	}
+	if corruptions != 0 {
+		n.xportCorruptions.Add(corruptions)
+	}
+	if duplicates != 0 {
+		n.xportDuplicates.Add(duplicates)
+	}
+	if reorders != 0 {
+		n.xportReorders.Add(reorders)
+	}
+	if acks != 0 {
+		n.xportAcks.Add(acks)
+	}
+}
+
+// Xport is the reliable-transport slice of a Volume: how much of the
+// inter-node wire traffic was protocol overhead rather than payload,
+// and the event counts behind it. All-zero when no loss plan is active.
+type Xport struct {
+	OverheadBytes int64 // header + retransmit + duplicate + ack bytes within InterBytes
+	Retransmits   int64
+	Corruptions   int64
+	Duplicates    int64
+	Reorders      int64
+	Acks          int64
+}
+
 // Volume reports cumulative transferred bytes and message counts. The
 // Raw fields are the logical (pre-compression) volume; they equal the
 // wire fields unless encoded payloads were in flight.
@@ -151,7 +203,16 @@ type Volume struct {
 	// DegradedMsgs counts inter-node messages that paid a fault-injected
 	// bandwidth penalty (weak node, brown-out, or link event).
 	DegradedMsgs int64
+
+	// Xport is the reliable-transport overhead ledger. Inter-node
+	// goodput is InterBytes - Xport.OverheadBytes.
+	Xport Xport
 }
+
+// Goodput returns the inter-node payload bytes: wire volume minus
+// reliable-transport protocol overhead. Without a loss plan it equals
+// InterBytes exactly.
+func (v Volume) Goodput() int64 { return v.InterBytes - v.Xport.OverheadBytes }
 
 // Volume returns the network's cumulative counters.
 func (n *Network) Volume() Volume {
@@ -163,6 +224,14 @@ func (n *Network) Volume() Volume {
 		RawIntraBytes: n.rawIntraBytes.Load(),
 		RawInterBytes: n.rawInterBytes.Load(),
 		DegradedMsgs:  n.degradedMsgs.Load(),
+		Xport: Xport{
+			OverheadBytes: n.xportOverheadBytes.Load(),
+			Retransmits:   n.xportRetransmits.Load(),
+			Corruptions:   n.xportCorruptions.Load(),
+			Duplicates:    n.xportDuplicates.Load(),
+			Reorders:      n.xportReorders.Load(),
+			Acks:          n.xportAcks.Load(),
+		},
 	}
 }
 
@@ -175,6 +244,12 @@ func (n *Network) ResetVolume() {
 	n.rawIntraBytes.Store(0)
 	n.rawInterBytes.Store(0)
 	n.degradedMsgs.Store(0)
+	n.xportOverheadBytes.Store(0)
+	n.xportRetransmits.Store(0)
+	n.xportCorruptions.Store(0)
+	n.xportDuplicates.Store(0)
+	n.xportReorders.Store(0)
+	n.xportAcks.Store(0)
 }
 
 // NodeBandwidthAt returns the aggregate node-to-node bandwidth achieved

@@ -163,3 +163,28 @@ func TestIntraNodeBandwidthRejectsBadStreams(t *testing.T) {
 	}()
 	n.IntraNodeBandwidth(0)
 }
+
+func TestXportLedger(t *testing.T) {
+	n := testNet()
+	if n.Volume().Xport != (Xport{}) {
+		t.Fatal("fresh network has transport counters")
+	}
+	n.CountXportOverhead(48)
+	n.CountXportEvents(3, 1, 2, 1, 5)
+	wire := n.TransferTime(1000, 0, 1, 1) // payload charge, for Goodput below
+	if wire <= 0 {
+		t.Fatal("transfer charged no time")
+	}
+	v := n.Volume()
+	want := Xport{OverheadBytes: 48, Retransmits: 3, Corruptions: 1, Duplicates: 2, Reorders: 1, Acks: 5}
+	if v.Xport != want {
+		t.Fatalf("xport = %+v, want %+v", v.Xport, want)
+	}
+	if g := v.Goodput(); g != v.InterBytes-48 {
+		t.Fatalf("goodput %d, want inter %d - overhead 48", g, v.InterBytes)
+	}
+	n.ResetVolume()
+	if n.Volume().Xport != (Xport{}) {
+		t.Fatal("ResetVolume left transport counters")
+	}
+}

@@ -15,14 +15,15 @@ import (
 type Phase int
 
 const (
-	TDComp Phase = iota // top-down computation
-	TDComm              // top-down communication (alltoallv + allreduce)
-	BUComp              // bottom-up computation
-	BUComm              // bottom-up communication (the two allgathers)
-	Switch              // td->bu and bu->td data-structure conversion
-	Stall               // idle time at phase barriers (load imbalance)
-	Ckpt                // level-boundary checkpoint saves (fault tolerance)
-	Recovery            // crash detection, rollback and state restore
+	TDComp   Phase = iota // top-down computation
+	TDComm                // top-down communication (alltoallv + allreduce)
+	BUComp                // bottom-up computation
+	BUComm                // bottom-up communication (the two allgathers)
+	Switch                // td->bu and bu->td data-structure conversion
+	Stall                 // idle time at phase barriers (load imbalance)
+	Ckpt                  // level-boundary checkpoint saves (fault tolerance)
+	Recovery              // crash detection, rollback and state restore
+	Xport                 // reliable-transport stall (retransmits, backoff, protocol frames)
 	NumPhases
 )
 
@@ -45,6 +46,8 @@ func (p Phase) String() string {
 		return "ckpt"
 	case Recovery:
 		return "recovery"
+	case Xport:
+		return "xport"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -136,6 +139,7 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		StallNs     float64 `json:"stall_ns"`
 		CkptNs      float64 `json:"ckpt_ns"`
 		RecoveryNs  float64 `json:"recovery_ns"`
+		XportNs     float64 `json:"xport_ns"`
 		TotalNs     float64 `json:"total_ns"`
 		TDLevels    int     `json:"td_levels"`
 		BULevels    int     `json:"bu_levels"`
@@ -144,7 +148,8 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		TDCompNs: b.Ns[TDComp], TDCommNs: b.Ns[TDComm],
 		BUCompNs: b.Ns[BUComp], BUCommNs: b.Ns[BUComm],
 		SwitchNs: b.Ns[Switch], StallNs: b.Ns[Stall],
-		CkptNs:   b.Ns[Ckpt], RecoveryNs: b.Ns[Recovery],
+		CkptNs: b.Ns[Ckpt], RecoveryNs: b.Ns[Recovery],
+		XportNs:  b.Ns[Xport],
 		TotalNs:  b.Total(),
 		TDLevels: b.TDLevels, BULevels: b.BULevels, BUCommCount: b.BUCommCount,
 	})

@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testSegments returns frontier segments with the shapes that drive the
+// adaptive selector to each bitmap format: near-empty (sparse), clustered
+// runs (RLE) and near-saturated (dense).
+func testSegments() map[string][]uint64 {
+	sparse := make([]uint64, 64)
+	sparse[3] = 1 << 17
+	sparse[40] = 1<<2 | 1<<63
+	clustered := make([]uint64, 64)
+	for i := 20; i < 29; i++ {
+		clustered[i] = 0xdeadbeefcafe0000 | uint64(i)
+	}
+	dense := make([]uint64, 64)
+	for i := range dense {
+		dense[i] = ^uint64(0) &^ (1 << uint(i))
+	}
+	return map[string][]uint64{"sparse": sparse, "clustered": clustered, "dense": dense}
+}
+
+// encodeAll returns one encoded payload per concrete wire format for
+// every test segment, plus a varint-delta list payload.
+func encodeAll(t *testing.T) map[string][]byte {
+	t.Helper()
+	payloads := map[string][]byte{}
+	for name, seg := range testSegments() {
+		for _, f := range []Format{FormatDense, FormatSparse, FormatRLE} {
+			payloads[name+"/"+f.String()] = Append(nil, f, seg)
+		}
+	}
+	payloads["list"] = AppendList(nil, []int64{0, 5, 5, 1 << 40, -3, 12345})
+	return payloads
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for name, payload := range encodeAll(t) {
+		frame := AppendFrame(nil, 42, payload)
+		if len(frame) != FrameHeaderBytes+len(payload) {
+			t.Fatalf("%s: frame %d bytes, want header %d + payload %d",
+				name, len(frame), FrameHeaderBytes, len(payload))
+		}
+		seq, got, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if seq != 42 {
+			t.Fatalf("%s: seq = %d", name, seq)
+		}
+		if string(got) != string(payload) {
+			t.Fatalf("%s: payload mangled", name)
+		}
+	}
+	if _, _, err := DecodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+}
+
+// TestFrameCRCDetectsEverySingleBitFlip is the corruption oracle the
+// analytic transport relies on: for every wire format, flipping any
+// single bit anywhere in the frame — sequence, length, CRC or payload —
+// must fail verification, so a corrupted delivery is always detected
+// and handled as a drop.
+func TestFrameCRCDetectsEverySingleBitFlip(t *testing.T) {
+	for name, payload := range encodeAll(t) {
+		frame := AppendFrame(nil, 7, payload)
+		for bit := 0; bit < 8*len(frame); bit++ {
+			frame[bit/8] ^= 1 << uint(bit%8)
+			if _, _, err := DecodeFrame(frame); err == nil {
+				t.Fatalf("%s: single-bit flip at bit %d went undetected", name, bit)
+			}
+			frame[bit/8] ^= 1 << uint(bit%8)
+		}
+		// The pristine frame must still decode (flips were reverted).
+		if _, _, err := DecodeFrame(frame); err != nil {
+			t.Fatalf("%s: pristine frame rejected after sweep: %v", name, err)
+		}
+	}
+}
+
+// FuzzFrameCorruption extends the single-bit property to arbitrary
+// payloads and flip positions.
+func FuzzFrameCorruption(f *testing.F) {
+	f.Add([]byte{}, uint64(0), uint(0))
+	f.Add([]byte{0xff}, uint64(9), uint(3))
+	f.Add(Append(nil, FormatSparse, []uint64{1 << 5, 0, 1}), uint64(1<<40), uint(100))
+	f.Fuzz(func(t *testing.T, payload []byte, seq uint64, bit uint) {
+		frame := AppendFrame(nil, seq, payload)
+		gotSeq, gotPayload, err := DecodeFrame(frame)
+		if err != nil || gotSeq != seq || string(gotPayload) != string(payload) {
+			t.Fatalf("round trip failed: seq %d->%d err %v", seq, gotSeq, err)
+		}
+		bit %= uint(8 * len(frame))
+		frame[bit/8] ^= 1 << (bit % 8)
+		if _, _, err := DecodeFrame(frame); err == nil {
+			t.Fatalf("flip at bit %d undetected (payload %d bytes)", bit, len(payload))
+		}
+	})
+}
+
+// TestResequencerDeliversExactlyOnceInOrder is the delivery-integrity
+// half of the transport property: however a link duplicates and reorders
+// frames, the resequenced stream decodes to exactly the frontiers that
+// were sent.
+func TestResequencerDeliversExactlyOnceInOrder(t *testing.T) {
+	segs := make([][]uint64, 0, 24)
+	for _, s := range testSegments() {
+		segs = append(segs, s)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for len(segs) < 24 {
+		s := make([]uint64, 64)
+		for i := range s {
+			if rng.Intn(3) == 0 {
+				s[i] = rng.Uint64()
+			}
+		}
+		segs = append(segs, s)
+	}
+
+	// Sender: adaptively encode and frame each segment in sequence.
+	frames := make([][]byte, len(segs))
+	for i, s := range segs {
+		f, _ := Choose(Analyze(s))
+		frames[i] = AppendFrame(nil, uint64(i), Append(nil, f, s))
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		// Lossy link: duplicate ~1 in 3 frames, then reorder within a
+		// bounded window (matching fault.Loss.ReorderWindow semantics).
+		sched := make([]int, 0, 2*len(frames))
+		for i := range frames {
+			sched = append(sched, i)
+			if rng.Intn(3) == 0 {
+				sched = append(sched, i)
+			}
+		}
+		const window = 5
+		for i := range sched {
+			j := i + rng.Intn(window)
+			if j < len(sched) {
+				sched[i], sched[j] = sched[j], sched[i]
+			}
+		}
+
+		var q Resequencer
+		var delivered [][]byte
+		for _, idx := range sched {
+			seq, payload, err := DecodeFrame(frames[idx])
+			if err != nil {
+				t.Fatalf("trial %d: decode frame %d: %v", trial, idx, err)
+			}
+			delivered = q.Offer(seq, payload, delivered)
+		}
+		if len(delivered) != len(segs) {
+			t.Fatalf("trial %d: delivered %d of %d messages (pending %d, dups %d)",
+				trial, len(delivered), len(segs), q.Pending(), q.Dups())
+		}
+		if q.Pending() != 0 {
+			t.Fatalf("trial %d: %d frames stuck in the resequencer", trial, q.Pending())
+		}
+		if ack, ok := q.CumulativeAck(); !ok || ack != uint64(len(segs)-1) {
+			t.Fatalf("trial %d: cumulative ack %d/%v", trial, ack, ok)
+		}
+		// Decoded frontiers must match the originals exactly, in order.
+		got := make([]uint64, 64)
+		for i, payload := range delivered {
+			if _, err := DecodeBytes(got, payload); err != nil {
+				t.Fatalf("trial %d: decode message %d: %v", trial, i, err)
+			}
+			for w := range got {
+				if got[w] != segs[i][w] {
+					t.Fatalf("trial %d: message %d word %d: %#x != %#x",
+						trial, i, w, got[w], segs[i][w])
+				}
+			}
+		}
+	}
+}
+
+func TestResequencerDiscardsDuplicates(t *testing.T) {
+	var q Resequencer
+	var out [][]byte
+	out = q.Offer(0, []byte("a"), out)
+	out = q.Offer(0, []byte("a"), out) // dup of delivered
+	out = q.Offer(2, []byte("c"), out) // held
+	out = q.Offer(2, []byte("c"), out) // dup of held
+	out = q.Offer(1, []byte("b"), out) // closes the gap
+	if len(out) != 3 || string(out[0]) != "a" || string(out[1]) != "b" || string(out[2]) != "c" {
+		t.Fatalf("delivered %q", out)
+	}
+	if q.Dups() != 2 {
+		t.Fatalf("dups = %d, want 2", q.Dups())
+	}
+	if ack, ok := q.CumulativeAck(); !ok || ack != 2 {
+		t.Fatalf("ack = %d/%v, want 2", ack, ok)
+	}
+}
