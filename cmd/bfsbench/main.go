@@ -21,6 +21,7 @@ import (
 
 	"numabfs/internal/experiments"
 	"numabfs/internal/fault"
+	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
 	"numabfs/internal/obs"
 )
@@ -50,9 +51,11 @@ var drivers = []driver{
 	{"compression", experiments.ExtCompression},
 	{"faults", experiments.ExtFaults},
 	{"loss", experiments.ExtLoss},
+	{"overlap", experiments.ExtOverlap},
 	{"abl-allgather", experiments.AblationAllgather},
 	{"abl-compression", experiments.AblationCompression},
 	{"abl-hybrid", experiments.AblationHybrid},
+	{"abl-overlap", experiments.AblationOverlap},
 	{"abl-sharedegree", experiments.AblationShareDegree},
 }
 
@@ -101,7 +104,8 @@ func benchCheck(path string, want []string, weak bool) (int, error) {
 	if err := json.Unmarshal(data, &bf); err != nil {
 		return 0, fmt.Errorf("%s: %w", path, err)
 	}
-	spec := experiments.Spec{BaseScale: bf.Scale, Roots: bf.Roots, WeakNode: weak}
+	spec := experiments.Spec{BaseScale: bf.Scale, Roots: bf.Roots, WeakNode: weak,
+		Cache: graph500.NewGraphCache()}
 	match := func(key string) bool {
 		for _, w := range want {
 			if w == "all" || w == key {
@@ -208,7 +212,7 @@ func unknownFigs(want []string) []string {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3,4,6,9,10,11,12,13,14,15,16,algcmp,table1,2d,compression,faults,loss,abl-allgather,abl-compression,abl-hybrid,all")
+	fig := flag.String("fig", "all", "figure to reproduce: "+strings.Join(figKeys(), ","))
 	scale := flag.Int("scale", 16, "graph scale at one node (weak scaling adds log2(nodes))")
 	roots := flag.Int("roots", 8, "BFS roots per configuration (Graph500 uses 64)")
 	validate := flag.Bool("validate", false, "validate every BFS tree (slow)")
@@ -250,6 +254,7 @@ func main() {
 		Roots:     *roots,
 		Validate:  *validate,
 		WeakNode:  *weak,
+		Cache:     graph500.NewGraphCache(),
 	}
 	if *traceOut != "" || *metrics {
 		spec.Obs = obs.NewRecorder()
@@ -332,6 +337,8 @@ func main() {
 	}
 	if *metrics {
 		fmt.Print(spec.Obs.BuildReport().String())
+		hits, misses := spec.Cache.Stats()
+		fmt.Printf("graph cache: hits=%d misses=%d\n", hits, misses)
 	}
 	if *traceOut != "" {
 		if err := spec.Obs.WriteChromeTraceFile(*traceOut); err != nil {

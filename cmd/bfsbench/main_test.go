@@ -22,7 +22,7 @@ func TestFigKeys(t *testing.T) {
 		}
 		seen[k] = true
 	}
-	for _, want := range []string{"11", "algcmp", "table1", "all"} {
+	for _, want := range []string{"11", "algcmp", "table1", "all", "overlap", "abl-overlap"} {
 		if !seen[want] {
 			t.Errorf("missing key %q", want)
 		}
@@ -36,6 +36,22 @@ func TestUnknownFigs(t *testing.T) {
 	got := unknownFigs([]string{"11", "bogus", "7", "levels"})
 	if !reflect.DeepEqual(got, []string{"bogus", "7"}) {
 		t.Fatalf("unknownFigs = %v, want [bogus 7]", got)
+	}
+	// The new overlap figures validate; their typos are flagged for the
+	// exit-2 path, which prints the full known-figure list.
+	if got := unknownFigs([]string{"overlap", "abl-overlap"}); got != nil {
+		t.Fatalf("overlap keys flagged: %v", got)
+	}
+	if got := unknownFigs([]string{"overlp"}); !reflect.DeepEqual(got, []string{"overlp"}) {
+		t.Fatalf("unknownFigs(overlp) = %v", got)
+	}
+}
+
+func TestDriverForOverlap(t *testing.T) {
+	for _, key := range []string{"overlap", "abl-overlap"} {
+		if d := driverFor(key); d == nil {
+			t.Fatalf("%s driver not registered", key)
+		}
 	}
 }
 

@@ -70,7 +70,7 @@ func main() {
 	nodes := flag.Int("nodes", 1, "cluster nodes")
 	paperScale := flag.Int("paperscale", 0, "paper-equivalent scale for machine scaling (0 = scale+12)")
 	policy := flag.String("policy", "bind", "placement: noflag | interleave | noflag8 | bind")
-	opt := flag.String("opt", "original", "optimization: original | shareinq | shareall | par | compressed")
+	opt := flag.String("opt", "original", "optimization: original | shareinq | shareall | par | compressed | overlap")
 	mode := flag.String("mode", "hybrid", "algorithm: hybrid | topdown | bottomup")
 	gran := flag.Int64("g", 64, "summary bitmap granularity (multiple of 64)")
 	roots := flag.Int("roots", 64, "number of BFS roots")
@@ -105,6 +105,8 @@ func main() {
 		opts.Opt = numabfs.OptParAllgather
 	case "compressed":
 		opts.Opt = numabfs.OptCompressedAllgather
+	case "overlap":
+		opts.Opt = numabfs.OptOverlapAllgather
 	default:
 		fmt.Fprintf(os.Stderr, "graph500: unknown optimization %q\n", *opt)
 		os.Exit(2)

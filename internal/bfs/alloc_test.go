@@ -1,0 +1,82 @@
+package bfs
+
+// Allocation regression for the per-root hot path, alongside
+// internal/collective/alloc_test.go: steady-state BFS iterations reuse
+// the engine's scratch — frontier queues, the pipelined collective's
+// forwarding slots and codec slots, and the checkpoint generations — so
+// per-root allocations must not grow root over root, and checkpointing
+// every level must recycle its two generations instead of allocating
+// fresh snapshots.
+
+import (
+	"testing"
+
+	"numabfs/internal/fault"
+	"numabfs/internal/machine"
+	"numabfs/internal/rmat"
+)
+
+// rootAllocs measures steady-state allocations of one RunRoot, with
+// construction and scratch warm-up (two full iterations) excluded from
+// the measured region. AllocsPerRun pins GOMAXPROCS to 1, so the count
+// is stable run to run.
+func rootAllocs(t *testing.T, opts Options, plan *fault.Plan) float64 {
+	t.Helper()
+	const scale, nodes = 12, 2
+	params := rmat.Graph500(scale)
+	r, err := NewRunner(testConfig(scale, nodes, 4), machine.PPN8Bind, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Setup()
+	if plan != nil {
+		if err := r.InjectFaults(*plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := params.Roots(1, r.HasEdgeGlobal)[0]
+	r.RunRoot(root)
+	r.RunRoot(root)
+	return testing.AllocsPerRun(5, func() { r.RunRoot(root) })
+}
+
+// TestRootAllocsFlatAcrossRoots: once scratch is warm, re-measuring the
+// same iteration must not find more allocations — nothing per-root may
+// grow with the number of roots already run, at any of the allgather
+// levels including the pipelined one at several depths.
+func TestRootAllocsFlatAcrossRoots(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Opt
+		segs int
+	}{
+		{"compressed", OptCompressedAllgather, 0},
+		{"overlap-segs2", OptOverlapAllgather, 2},
+		{"overlap-segs8", OptOverlapAllgather, 8},
+	} {
+		opts := optOptions(tc.opt)
+		opts.OverlapSegments = tc.segs
+		first := rootAllocs(t, opts, nil)
+		again := rootAllocs(t, opts, nil)
+		if again > first {
+			t.Errorf("%s: per-root allocations grew across roots: %g then %g", tc.name, first, again)
+		}
+	}
+}
+
+// TestCheckpointAllocsPooled: with an armed-but-never-firing crash plan
+// the engine checkpoints at every level boundary; the two generations
+// must come from the rank's pool, so the steady-state per-root count
+// stays within a few allocations of the uncheckpointed run.
+func TestCheckpointAllocsPooled(t *testing.T) {
+	opts := optOptions(OptCompressedAllgather)
+	base := rootAllocs(t, opts, nil)
+	plan := fault.Plan{Crashes: []fault.Crash{{Rank: 1, AtNs: 1e18}}}
+	ck := rootAllocs(t, opts, &plan)
+	// Slack for the injector's per-run bookkeeping; a per-level snapshot
+	// allocation would exceed it by orders of magnitude.
+	const slack = 16
+	if ck > base+slack {
+		t.Errorf("checkpointed run allocates %g per root vs %g uncheckpointed — generations not pooled", ck, base)
+	}
+}

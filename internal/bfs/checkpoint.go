@@ -74,6 +74,26 @@ func (ck *checkpoint) bytes() int64 {
 	return b
 }
 
+// newCkpt pops a recycled generation from the rank's pool (or allocates
+// the pool's very first ones): the snapshot slices keep their capacity,
+// so steady-state checkpointing — every level of every root — allocates
+// nothing once the pool is warm.
+func (rs *rankState) newCkpt() *checkpoint {
+	if n := len(rs.ckptPool); n > 0 {
+		ck := rs.ckptPool[n-1]
+		rs.ckptPool = rs.ckptPool[:n-1]
+		return ck
+	}
+	return &checkpoint{}
+}
+
+// recycleCkpt returns a dropped generation to the pool. nil is allowed.
+func (rs *rankState) recycleCkpt(ck *checkpoint) {
+	if ck != nil {
+		rs.ckptPool = append(rs.ckptPool, ck)
+	}
+}
+
 // saveCheckpoint snapshots the rank's state at the current level
 // boundary and charges the copy cost to the Ckpt phase. A no-op unless
 // the active fault plan schedules a crash (checkpointing has a modelled
@@ -89,24 +109,26 @@ func (rs *rankState) saveCheckpoint(p *mpi.Proc, st *loopState) {
 		return
 	}
 	t0 := p.Clock()
-	ck := &checkpoint{
-		level:        rs.levels,
-		st:           *st,
-		bd:           rs.bd,
-		levelStats:   append([]trace.LevelStat(nil), rs.levelStats...),
-		parent:       append([]int64(nil), rs.parent...),
-		queue:        append([]int64(nil), rs.queue...),
-		visitedCount: rs.visitedCount,
-		visitedEdges: rs.visitedEdges,
-	}
+	ck := rs.newCkpt()
+	ck.level = rs.levels
+	ck.st = *st
+	ck.bd = rs.bd
+	ck.levelStats = append(ck.levelStats[:0], rs.levelStats...)
+	ck.parent = append(ck.parent[:0], rs.parent...)
+	ck.queue = append(ck.queue[:0], rs.queue...)
+	ck.visitedCount = rs.visitedCount
+	ck.visitedEdges = rs.visitedEdges
+	ck.inq, ck.sum = ck.inq[:0], ck.sum[:0]
+	ck.stable = false
 	if st.bottomUp {
 		if r.Opts.Opt < OptShareInQueue || p.LocalRank() == 0 {
-			ck.inq = append([]uint64(nil), rs.inQ.Words()...)
+			ck.inq = append(ck.inq, rs.inQ.Words()...)
 		}
 		if r.Opts.Opt < OptShareAll || p.LocalRank() == 0 {
-			ck.sum = append([]uint64(nil), rs.inSum.Bits().Words()...)
+			ck.sum = append(ck.sum, rs.inSum.Bits().Words()...)
 		}
 	}
+	rs.recycleCkpt(rs.ckptPrev)
 	rs.ckptPrev, rs.ckptCur = rs.ckptCur, ck
 
 	// Read the live state, write the snapshot: 2x the payload through
@@ -147,6 +169,8 @@ func (rs *rankState) restoreCheckpoint(p *mpi.Proc, target int, floor float64) *
 	r := rs.r
 	rs.rec = p.Obs()
 	if target < 0 {
+		rs.recycleCkpt(rs.ckptCur)
+		rs.recycleCkpt(rs.ckptPrev)
 		rs.ckptCur, rs.ckptPrev = nil, nil
 		p.RestoreClock(floor)
 		// The rerun restarts at the detection-timeout floor: that dead
@@ -167,6 +191,11 @@ func (rs *rankState) restoreCheckpoint(p *mpi.Proc, target int, floor float64) *
 		panic(fmt.Sprintf("bfs: rank %d has no checkpoint for level %d", p.Rank(), target))
 	}
 	ck.stable = true
+	if ck == rs.ckptCur {
+		rs.recycleCkpt(rs.ckptPrev)
+	} else {
+		rs.recycleCkpt(rs.ckptCur)
+	}
 	rs.ckptCur, rs.ckptPrev = ck, nil
 
 	start := floor
@@ -184,10 +213,10 @@ func (rs *rankState) restoreCheckpoint(p *mpi.Proc, target int, floor float64) *
 	rs.next = rs.next[:0]
 	rs.visitedCount = ck.visitedCount
 	rs.visitedEdges = ck.visitedEdges
-	if ck.inq != nil {
+	if len(ck.inq) > 0 {
 		copy(rs.inQ.Words(), ck.inq)
 	}
-	if ck.sum != nil {
+	if len(ck.sum) > 0 {
 		copy(rs.inSum.Bits().Words(), ck.sum)
 	}
 

@@ -46,6 +46,12 @@ func (rs *rankState) allgatherInQueue(p *mpi.Proc) {
 		// in the codec's adaptive wire format (sparse at low frontier
 		// density, RLE/dense near saturation).
 		r.NC.ParallelAllgatherCompressed(p, rs.inQ.Words(), ownOut, r.wordLayout, rs.inqCodec)
+
+	case OptOverlapAllgather:
+		// The compressed parallel allgather pipelined in chunks, with the
+		// summary-share rebuild of each chunk running under the next
+		// chunk's transfer (internal/bfs/overlap.go).
+		rs.overlapAllgatherInQueue(p, ownOut)
 	}
 }
 
@@ -55,25 +61,20 @@ func (rs *rankState) allgatherInQueue(p *mpi.Proc) {
 func (rs *rankState) allgatherSummary(p *mpi.Proc) {
 	r := rs.r
 	rank := p.Rank()
-	g := r.Opts.Granularity
-	n := r.Params.NumVertices()
 
 	// This rank's summary share in summary words -> base bit range.
-	slo := r.sumLayout.Displs[rank]
-	scnt := r.sumLayout.Counts[rank]
-	bitLo := slo * 64 * g
-	bitHi := (slo + scnt) * 64 * g
-	if bitLo > n {
-		bitLo = n
+	bitLo, bitHi := rs.shareBits(rank)
+	if r.Opts.Opt >= OptOverlapAllgather {
+		// Most of the share was rebuilt chunk-by-chunk inside the
+		// pipelined allgather; only the gaps remain.
+		rs.rebuildShareGaps(p, bitLo, bitHi)
+	} else {
+		written := rs.inSum.RebuildRange(rs.inQ, bitLo, bitHi)
+		p.Compute(rs.team.Parallel(machine.PhaseLoad{
+			SeqBytes: (bitHi-bitLo)/8 + written*8,
+			SeqLoc:   r.inqLoc(),
+		}))
 	}
-	if bitHi > n {
-		bitHi = n
-	}
-	written := rs.inSum.RebuildRange(rs.inQ, bitLo, bitHi)
-	p.Compute(rs.team.Parallel(machine.PhaseLoad{
-		SeqBytes: (bitHi-bitLo)/8 + written*8,
-		SeqLoc:   r.inqLoc(),
-	}))
 
 	sumWords := rs.inSum.Bits().Words()
 	switch r.Opts.Opt {
@@ -85,9 +86,30 @@ func (rs *rankState) allgatherSummary(p *mpi.Proc) {
 		r.NC.SharedInPlaceAllgather(p, sumWords, r.sumLayout)
 	case OptParAllgather:
 		r.NC.ParallelAllgatherInPlace(p, sumWords, r.sumLayout)
-	case OptCompressedAllgather:
+	case OptCompressedAllgather, OptOverlapAllgather:
 		// The summary is orders of magnitude smaller than in_queue, but
 		// it is also far sparser early on — the same codec pays off.
+		// (The summary exchange stays blocking at level 6: it is too
+		// small for chunking to hide anything.)
 		r.NC.ParallelAllgatherInPlaceCompressed(p, sumWords, r.sumLayout, rs.sumCodec)
 	}
+}
+
+// shareBits returns the base-bit range [bitLo, bitHi) of rank's
+// in_queue_summary share (granule-aligned; clamped to the vertex count).
+func (rs *rankState) shareBits(rank int) (int64, int64) {
+	r := rs.r
+	g := r.Opts.Granularity
+	n := r.Params.NumVertices()
+	slo := r.sumLayout.Displs[rank]
+	scnt := r.sumLayout.Counts[rank]
+	bitLo := slo * 64 * g
+	bitHi := (slo + scnt) * 64 * g
+	if bitLo > n {
+		bitLo = n
+	}
+	if bitHi > n {
+		bitHi = n
+	}
+	return bitLo, bitHi
 }

@@ -128,7 +128,7 @@ func TestOptionsValidateWire(t *testing.T) {
 		t.Error("density threshold above 1 accepted")
 	}
 	opts = DefaultOptions()
-	opts.Opt = OptCompressedAllgather + 1
+	opts.Opt = OptOverlapAllgather + 1
 	if opts.Validate() == nil {
 		t.Error("out-of-range level accepted")
 	}

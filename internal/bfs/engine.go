@@ -54,6 +54,13 @@ type Runner struct {
 	// without a crash to survive would perturb every result.
 	faults fault.Plan
 	ckptOn bool
+
+	// prebuilt, when non-nil, replaces distributed construction in Setup
+	// with cached per-rank CSRs from an earlier identical build
+	// (internal/graph500's graph cache); prebuiltNs is that build's
+	// virtual construction time, reported as SetupNs.
+	prebuilt   []*graph.CSR
+	prebuiltNs float64
 }
 
 // rankState is the per-rank algorithm state.
@@ -93,13 +100,28 @@ type rankState struct {
 
 	// ckptCur/ckptPrev are the two newest level-boundary checkpoint
 	// generations (internal/bfs/checkpoint.go); nil unless the active
-	// fault plan schedules a crash.
+	// fault plan schedules a crash. ckptPool recycles dropped
+	// generations (their snapshot slices keep capacity), so steady-state
+	// checkpointing allocates nothing across levels and roots.
 	ckptCur  *checkpoint
 	ckptPrev *checkpoint
+	ckptPool []*checkpoint
 
 	// pendingRecoveryNs carries the full-rerun recovery cost (the
 	// detection-timeout floor) across reset(), which wipes bd.
 	pendingRecoveryNs float64
+
+	// Overlap-level (OptOverlapAllgather) state: the collective's
+	// hidden/exposed ledger, the cached per-chunk rebuild hook, the
+	// rank's summary-share bit range, and the chunk-rebuild bookkeeping
+	// (current contiguous landed word run, rebuilt-up-to bit, and the
+	// granule-aligned intervals already rebuilt this level).
+	ov                   collective.Overlap
+	ovChunk              func(w0, w1 int64) float64
+	ovBitLo, ovBitHi     int64
+	ovRunStart, ovRunEnd int64
+	ovReb                int64
+	ovDone               []bitSpan
 }
 
 // NewRunner builds a runner over cfg with the given placement policy.
@@ -169,6 +191,30 @@ func (r *Runner) InjectFaults(plan fault.Plan) error {
 // identical with and without a session.
 func (r *Runner) AttachObs(s *obs.Session) { r.W.AttachObs(s) }
 
+// UsePrebuilt installs per-rank CSRs cached from an earlier build with
+// identical parameters (scale, edge factor, seed, rank count, dedup):
+// Setup then skips distributed construction (kernel 1) and reports
+// setupNs — the cached build's virtual construction time — as SetupNs,
+// so results are bit-identical to a fresh build. Call before Setup.
+func (r *Runner) UsePrebuilt(csrs []*graph.CSR, setupNs float64) error {
+	if len(csrs) != len(r.states) {
+		return fmt.Errorf("bfs: prebuilt CSRs for %d ranks, world has %d", len(csrs), len(r.states))
+	}
+	r.prebuilt = csrs
+	r.prebuiltNs = setupNs
+	return nil
+}
+
+// CSRs returns each rank's CSR (aliases; the graph is read-only during
+// BFS). Valid after Setup; used to populate the graph cache.
+func (r *Runner) CSRs() []*graph.CSR {
+	out := make([]*graph.CSR, len(r.states))
+	for i, rs := range r.states {
+		out[i] = rs.csr
+	}
+	return out
+}
+
 // sharedLoc is the locality of a node-shared structure: with one rank per
 // node "shared" degenerates to the rank's own interleaved memory.
 func (r *Runner) sharedLoc() machine.Locality {
@@ -205,7 +251,12 @@ func (r *Runner) Setup() {
 	opt := r.Opts.Opt
 	r.W.Run(func(p *mpi.Proc) {
 		rank := p.Rank()
-		csr := graph.BuildDistributed(p, r.AllGroup, r.Part, r.Params, r.Opts.Dedup)
+		var csr *graph.CSR
+		if r.prebuilt != nil {
+			csr = r.prebuilt[rank]
+		} else {
+			csr = graph.BuildDistributed(p, r.AllGroup, r.Part, r.Params, r.Opts.Dedup)
+		}
 		rs := &rankState{
 			r:    r,
 			csr:  csr,
@@ -241,9 +292,16 @@ func (r *Runner) Setup() {
 				SparseMaxDensity: r.Opts.WireSparseDensity,
 			}
 		}
+		if opt >= OptOverlapAllgather {
+			rs.ovChunk = rs.onOverlapChunk
+			rs.ovBitLo, rs.ovBitHi = rs.shareBits(rank)
+		}
 		r.states[rank] = rs
 	})
 	r.SetupNs = r.W.MaxClock()
+	if r.prebuilt != nil {
+		r.SetupNs = r.prebuiltNs
+	}
 	r.W.ResetClocks()
 	r.totalEdges = 0
 	for _, rs := range r.states {
@@ -340,6 +398,8 @@ func (r *Runner) RunRoot(root int64) RootResult {
 	}
 	r.W.ResetClocks()
 	for _, rs := range r.states {
+		rs.recycleCkpt(rs.ckptCur)
+		rs.recycleCkpt(rs.ckptPrev)
 		rs.ckptCur, rs.ckptPrev = nil, nil
 		rs.pendingRecoveryNs = 0
 		if rs.inqCodec != nil {

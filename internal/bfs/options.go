@@ -43,6 +43,13 @@ const (
 	// encode/decode CPU time charged through the machine cost model
 	// (frontier compression after Romera and Buluç & Madduri).
 	OptCompressedAllgather
+	// OptOverlapAllgather additionally pipelines the compressed parallel
+	// allgather: each rank's in_queue segment travels in
+	// Options.OverlapSegments chunks through nonblocking sends, and the
+	// summary-share rebuild of a chunk runs the moment it lands while
+	// later chunks are still in flight — communication/computation
+	// overlap after Buluç & Madduri.
+	OptOverlapAllgather
 )
 
 // String implements fmt.Stringer using the paper's labels.
@@ -58,6 +65,8 @@ func (o Opt) String() string {
 		return "Par allgather"
 	case OptCompressedAllgather:
 		return "Compressed allgather"
+	case OptOverlapAllgather:
+		return "Overlap allgather"
 	default:
 		return fmt.Sprintf("Opt(%d)", int(o))
 	}
@@ -122,6 +131,13 @@ type Options struct {
 	// sparse below the threshold, dense at or above it. The ablation
 	// knob of experiments.AblationCompression.
 	WireSparseDensity float64
+	// OverlapSegments is the pipeline chunk count per rank segment at
+	// OptOverlapAllgather (0 selects the default of 2; capped at 256 by
+	// the collective's tag space). More chunks hide more of each
+	// transfer behind scanning but pay more per-message latency — the
+	// knob of experiments.AblationOverlap. Ignored below
+	// OptOverlapAllgather.
+	OverlapSegments int
 }
 
 // DefaultOptions returns the reference-code defaults.
@@ -148,8 +164,11 @@ func (o Options) Validate() error {
 	if o.Chunk <= 0 {
 		return fmt.Errorf("bfs: chunk %d must be positive", o.Chunk)
 	}
-	if o.Opt < OptOriginal || o.Opt > OptCompressedAllgather {
+	if o.Opt < OptOriginal || o.Opt > OptOverlapAllgather {
 		return fmt.Errorf("bfs: unknown optimization level %d", int(o.Opt))
+	}
+	if o.OverlapSegments < 0 || o.OverlapSegments > 256 {
+		return fmt.Errorf("bfs: overlap segments %d outside [0, 256]", o.OverlapSegments)
 	}
 	if o.WireFormat >= wire.FormatList {
 		return fmt.Errorf("bfs: wire format %d is not a bitmap format", int(o.WireFormat))

@@ -24,6 +24,7 @@ const (
 	tagAllreduce = 0x6000
 	tagRingC     = 0x9000
 	tagListC     = 0xA000
+	tagSeg       = 0xB000
 )
 
 // Allgather performs an allgatherv over the group into buf: member i's

@@ -47,6 +47,11 @@ type Spec struct {
 	// bfsbench -fault flag. ExtFaults builds its own plans and ignores
 	// this field.
 	Faults *fault.Plan
+	// Cache, when non-nil, shares constructed graphs across every cell
+	// the driver runs: cells differing only in optimization level, knobs
+	// or fault plan rebuild the identical R-MAT graph, so kernel 1 runs
+	// once per (scale, ranks) and later cells reuse it bit-identically.
+	Cache *graph500.GraphCache
 }
 
 // Quick returns a spec small enough for unit tests.
@@ -87,6 +92,7 @@ func (s Spec) run(nodes int, policy machine.Policy, opts bfs.Options) (*graph500
 		Validate: s.Validate,
 		Obs:      s.Obs,
 		Faults:   s.Faults,
+		Cache:    s.Cache,
 	})
 }
 

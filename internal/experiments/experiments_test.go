@@ -5,7 +5,11 @@ import (
 	"strings"
 	"testing"
 
+	"numabfs/internal/bfs"
 	"numabfs/internal/fault"
+	"numabfs/internal/graph500"
+	"numabfs/internal/machine"
+	"numabfs/internal/trace"
 )
 
 // quick returns a spec small enough for CI; shapes assertions below use
@@ -331,6 +335,102 @@ func TestExtLossShape(t *testing.T) {
 	// Protocol overhead appears as soon as the transport is on (loss 0%).
 	if overhead.Values[0] != 0 || overhead.Values[1] <= 0 {
 		t.Errorf("overhead columns wrong: %v", overhead.Values)
+	}
+}
+
+func TestExtOverlapShape(t *testing.T) {
+	s := quick()
+	s.Cache = graph500.NewGraphCache() // 25 validated cells share 5 graphs
+	tab, err := ExtOverlap(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 compressed TEPS row + 4 segment-count TEPS rows + 6 attribution rows.
+	if len(tab.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(tab.Rows))
+	}
+	rows := map[string][]float64{}
+	for _, r := range tab.Rows {
+		rows[r.Label] = r.Values
+	}
+	hidden := rows["Overlap hidden comm (ms)"]
+	eff := rows["Overlap efficiency"]
+	speedup := rows["Speedup vs compressed"]
+	for i := range eff {
+		if eff[i] < 0 || eff[i] > 1 {
+			t.Errorf("col %d: efficiency %g outside [0, 1]", i, eff[i])
+		}
+	}
+	// With at least two nodes the pipeline must hide real transfer time.
+	// At the CI scale bottom-up comm is under 1% of the traversal, so the
+	// net effect is a wash — assert only that the pipelining overhead
+	// stays in the noise here; the strict reduction is asserted at the
+	// driver's default base scale in TestOverlapAcceptanceAtDefaultScale.
+	for i := 1; i < len(hidden); i++ {
+		if hidden[i] <= 0 {
+			t.Errorf("col %d: no hidden communication attributed: %v", i, hidden)
+		}
+		if speedup[i] < 0.99 || speedup[i] > 1.5 {
+			t.Errorf("col %d: speedup %g implausible for scale %d", i, speedup[i], s.BaseScale)
+		}
+	}
+	if h, m := s.Cache.Stats(); m != 5 || h != 20 {
+		t.Errorf("graph cache hits=%d misses=%d, want 20/5 (one build per node count)", h, m)
+	}
+}
+
+// TestOverlapAcceptanceAtDefaultScale is the tentpole acceptance on the
+// experiments' own cluster model: at the default base scale the
+// pipelined level must beat the compressed level in total virtual time
+// at 4 nodes, with hidden communication accounting for the gain and the
+// Figs. 12/14 bottom-up communication time strictly reduced.
+func TestOverlapAcceptanceAtDefaultScale(t *testing.T) {
+	s := Spec{BaseScale: Default().BaseScale, Roots: 1}
+	const nodes = 4
+	comp := bfs.DefaultOptions()
+	comp.Opt = bfs.OptCompressedAllgather
+	rc, err := s.run(nodes, machine.PPN8Bind, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := bfs.DefaultOptions()
+	ov.Opt = bfs.OptOverlapAllgather
+	ro, err := s.run(nodes, machine.PPN8Bind, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.MeanTimeNs >= rc.MeanTimeNs {
+		t.Errorf("overlap mean time %.0f ns not below compressed %.0f ns", ro.MeanTimeNs, rc.MeanTimeNs)
+	}
+	if ro.Breakdown.Ns[trace.Overlap] <= 0 {
+		t.Errorf("no hidden communication: %v", ro.Breakdown.Ns)
+	}
+	if ro.Breakdown.Ns[trace.BUComm] >= rc.Breakdown.Ns[trace.BUComm] {
+		t.Errorf("exposed bu-comm %.0f ns not below compressed %.0f ns",
+			ro.Breakdown.Ns[trace.BUComm], rc.Breakdown.Ns[trace.BUComm])
+	}
+}
+
+func TestAblationOverlapShape(t *testing.T) {
+	tab, err := AblationOverlap(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compressed baseline + 6 pinned segment counts.
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	base := tab.Rows[0] // columns: TEPS, time ms, bu-comm ms, hidden, exposed, efficiency
+	if base.Values[3] != 0 || base.Values[4] != 0 || base.Values[5] != 0 {
+		t.Errorf("compressed baseline reports overlap: %v", base.Values)
+	}
+	for _, r := range tab.Rows[1:] {
+		if r.Values[3] <= 0 {
+			t.Errorf("%s: no hidden communication: %v", r.Label, r.Values)
+		}
+		if r.Values[5] < 0 || r.Values[5] > 1 {
+			t.Errorf("%s: efficiency %g outside [0, 1]", r.Label, r.Values[5])
+		}
 	}
 }
 

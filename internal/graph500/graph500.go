@@ -40,6 +40,13 @@ type Config struct {
 	// stragglers, jitter, and rank crashes survived through checkpoint
 	// recovery. Construction (kernel 1) runs unperturbed.
 	Faults *fault.Plan
+
+	// Cache, when non-nil, reuses constructed graphs across runs with
+	// identical (machine, policy, R-MAT params, dedup): kernel 1 is
+	// skipped on a hit and the cached build's SetupNs reported, so
+	// results are bit-identical either way. Experiment sweeps share one
+	// cache across their cells (bfsbench).
+	Cache *GraphCache
 }
 
 // Result aggregates a benchmark run.
@@ -75,7 +82,19 @@ func Run(cfg Config) (*Result, error) {
 			cfg.Params.Scale, cfg.Machine.Nodes)
 		runner.AttachObs(cfg.Obs.NewSession(label))
 	}
+	cached := false
+	if cfg.Cache != nil {
+		if e := cfg.Cache.lookup(cacheKeyOf(cfg)); e != nil {
+			if err := runner.UsePrebuilt(e.csrs, e.setupNs); err != nil {
+				return nil, err
+			}
+			cached = true
+		}
+	}
 	runner.Setup()
+	if cfg.Cache != nil && !cached {
+		cfg.Cache.store(cacheKeyOf(cfg), runner.CSRs(), runner.SetupNs)
+	}
 	if cfg.Faults != nil {
 		if err := runner.InjectFaults(*cfg.Faults); err != nil {
 			return nil, err

@@ -17,6 +17,13 @@ type Request struct {
 	src, tag  int
 	postClock float64
 	out       *Msg
+
+	// BeginNs and EndNs bracket the completed transfer on the virtual
+	// timeline (recv side only; valid after Wait). Pipelined collectives
+	// diff them against the clock at Wait to split the transfer into
+	// hidden time (it ran under the rank's own computation) and exposed
+	// time (the rank stalled for it).
+	BeginNs, EndNs float64
 }
 
 // Isend posts a nonblocking send. The transfer is timestamped with the
@@ -24,17 +31,26 @@ type Request struct {
 // overlaps the transfer: Wait only advances the clock if the rendezvous
 // finishes after the rank's own work.
 func (p *Proc) Isend(dst, tag int, bytes int64, payload any, streams int) *Request {
+	return p.IsendWire(dst, tag, bytes, bytes, payload, streams)
+}
+
+// IsendWire is Isend for an encoded payload: wireBytes cross the
+// simulated network and drive the transfer cost, rawBytes is the
+// logical (pre-encoding) size recorded by the raw-volume counters —
+// the nonblocking counterpart of SendRecvWire.
+func (p *Proc) IsendWire(dst, tag int, wireBytes, rawBytes int64, payload any, streams int) *Request {
 	if dst == p.rank {
 		panic(fmt.Sprintf("mpi: rank %d isend to self", p.rank))
 	}
 	p.checkCrash()
 	m := message{
-		src: p.rank, tag: tag, bytes: bytes, raw: bytes, streams: streams,
+		src: p.rank, tag: tag, bytes: wireBytes, raw: rawBytes, streams: streams,
 		payload: payload, sent: p.clock, ack: make(chan float64, 1),
 	}
 	p.post(dst, m)
-	p.sentBytes += bytes
-	return &Request{p: p, ack: m.ack, sendBytes: bytes}
+	p.sentBytes += wireBytes
+	p.countMsg(dst, wireBytes, rawBytes)
+	return &Request{p: p, ack: m.ack, sendBytes: wireBytes}
 }
 
 // Irecv posts a nonblocking receive from src with the given tag. The
@@ -76,6 +92,7 @@ func (r *Request) Wait() {
 	begin := maxf(m.sent, r.postClock)
 	recvEnd, sendEnd := p.deliver(m, begin)
 	m.ack <- sendEnd
+	r.BeginNs, r.EndNs = begin, recvEnd
 	if recvEnd > p.clock {
 		p.clock = recvEnd
 	}

@@ -128,6 +128,11 @@ type Comm struct {
 	Acks             int64   // ack frames sent back to the sender
 	XportOverheadNs  float64 // extra delivery latency versus a clean link (retransmit waits, holds, acks)
 	XportOverheadBys int64   // protocol bytes (headers, retransmits, dups, acks) this rank received
+	// Pipelined-allgather overlap counters (OptOverlapAllgather): transfer
+	// time hidden under the rank's own decode/scan versus time the rank
+	// stalled in Wait for it. Zero for every non-pipelined collective.
+	OverlapHiddenNs  float64
+	OverlapExposedNs float64
 }
 
 // merge adds o's counters into c (BarrierWaits samples included).
@@ -161,6 +166,8 @@ func (c *Comm) merge(o *Comm) {
 	c.Acks += o.Acks
 	c.XportOverheadNs += o.XportOverheadNs
 	c.XportOverheadBys += o.XportOverheadBys
+	c.OverlapHiddenNs += o.OverlapHiddenNs
+	c.OverlapExposedNs += o.OverlapExposedNs
 }
 
 // Recorder collects observability sessions. The zero Recorder is ready
@@ -357,6 +364,17 @@ func (r *Rank) Xport(retrans, corrupt, dups, reorders, acks, overheadBytes int64
 	r.comm.Acks += acks
 	r.comm.XportOverheadBys += overheadBytes
 	r.comm.XportOverheadNs += overheadNs
+}
+
+// Overlap records one pipelined collective's hidden-vs-exposed transfer
+// split (counters only — hidden time is concurrent with computation
+// spans already on the timeline, so it is not a span of its own).
+func (r *Rank) Overlap(hiddenNs, exposedNs float64) {
+	if r == nil {
+		return
+	}
+	r.comm.OverlapHiddenNs += hiddenNs
+	r.comm.OverlapExposedNs += exposedNs
 }
 
 // FaultEvent records one injected-fault instant ("crash", "recover") at

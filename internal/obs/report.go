@@ -64,6 +64,16 @@ type SessionReport struct {
 	XportOverheadBytes   int64            `json:"transport_overhead_bytes,omitempty"`
 	RetransStallNsByRank []float64        `json:"retrans_stall_ns_by_rank,omitempty"`
 
+	// Overlap aggregates the pipelined collective's ledger over all
+	// ranks; absent unless the overlapped allgather ran. Hidden is
+	// transfer time that completed under the ranks' own decode/scan work,
+	// exposed is time stalled in the pipeline's waits. OverlapEffByRank
+	// is each rank's hidden/(hidden+exposed) share — the per-rank overlap
+	// efficiency of the sixth optimization level.
+	OverlapHiddenNs  float64   `json:"overlap_hidden_ns,omitempty"`
+	OverlapExposedNs float64   `json:"overlap_exposed_ns,omitempty"`
+	OverlapEffByRank []float64 `json:"overlap_efficiency_by_rank,omitempty"`
+
 	// Levels is the critical-path table, aggregated across roots by
 	// level index.
 	Levels []LevelReport `json:"levels,omitempty"`
@@ -189,6 +199,16 @@ func buildSessionReport(s *Session) SessionReport {
 		sr.RetransStallNsByRank = make([]float64, len(s.ranks))
 		for _, rk := range s.ranks {
 			sr.RetransStallNsByRank[rk.ID] = rk.comm.XportOverheadNs
+		}
+	}
+	if comm.OverlapHiddenNs != 0 || comm.OverlapExposedNs != 0 {
+		sr.OverlapHiddenNs = comm.OverlapHiddenNs
+		sr.OverlapExposedNs = comm.OverlapExposedNs
+		sr.OverlapEffByRank = make([]float64, len(s.ranks))
+		for _, rk := range s.ranks {
+			if t := rk.comm.OverlapHiddenNs + rk.comm.OverlapExposedNs; t > 0 {
+				sr.OverlapEffByRank[rk.ID] = rk.comm.OverlapHiddenNs / t
+			}
 		}
 	}
 	sr.BarrierCount = comm.Barriers
@@ -380,6 +400,19 @@ func (sr *SessionReport) render(b *strings.Builder) {
 			fmt.Fprintf(b, "retransmit stall: mean/rank=%.3fms  worst rank %d=%.3fms\n",
 				stats.Mean(sr.RetransStallNsByRank)/1e6, worst, worstNs/1e6)
 		}
+	}
+
+	if n := len(sr.OverlapEffByRank); n > 0 {
+		worst, worstEff := 0, sr.OverlapEffByRank[0]
+		for rk, eff := range sr.OverlapEffByRank {
+			if eff < worstEff {
+				worst, worstEff = rk, eff
+			}
+		}
+		total := sr.OverlapHiddenNs + sr.OverlapExposedNs
+		fmt.Fprintf(b, "overlap: hidden=%.3fms  exposed=%.3fms  efficiency=%.1f%%  worst rank %d=%.1f%%\n",
+			sr.OverlapHiddenNs/1e6, sr.OverlapExposedNs/1e6,
+			100*sr.OverlapHiddenNs/total, worst, 100*worstEff)
 	}
 
 	if sr.BarrierCount > 0 {

@@ -24,6 +24,7 @@ const (
 	Ckpt                  // level-boundary checkpoint saves (fault tolerance)
 	Recovery              // crash detection, rollback and state restore
 	Xport                 // reliable-transport stall (retransmits, backoff, protocol frames)
+	Overlap               // communication hidden behind computation (pipelined allgather)
 	NumPhases
 )
 
@@ -48,6 +49,8 @@ func (p Phase) String() string {
 		return "recovery"
 	case Xport:
 		return "xport"
+	case Overlap:
+		return "overlap"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -76,15 +79,26 @@ type Breakdown struct {
 	// BUCommCount is the number of bottom-up communication phases, for
 	// Fig. 13's "average time per communication phase".
 	BUCommCount int
+	// OverlapExposedNs is the transfer time the pipelined allgather could
+	// not hide (the rank stalled in Wait for it). Unlike Ns[Overlap] it is
+	// already inside the wall-clock phases (BUComm/Switch), so it is an
+	// annotation, not a phase.
+	OverlapExposedNs float64
 }
 
 // Add charges ns to phase p.
 func (b *Breakdown) Add(p Phase, ns float64) { b.Ns[p] += ns }
 
-// Total returns the summed time over all phases.
+// Total returns the summed time over all phases. Ns[Overlap] is
+// excluded: hidden communication ran concurrently with computation that
+// is already charged to the wall-clock phases, so counting it would
+// double-book time that never elapsed.
 func (b *Breakdown) Total() float64 {
 	var t float64
-	for _, v := range b.Ns {
+	for p, v := range b.Ns {
+		if Phase(p) == Overlap {
+			continue
+		}
 		t += v
 	}
 	return t
@@ -116,6 +130,7 @@ func (b *Breakdown) Merge(o Breakdown) {
 	b.TDLevels += o.TDLevels
 	b.BULevels += o.BULevels
 	b.BUCommCount += o.BUCommCount
+	b.OverlapExposedNs += o.OverlapExposedNs
 }
 
 // Scale multiplies every accumulator by f (for averaging over roots).
@@ -123,6 +138,7 @@ func (b *Breakdown) Scale(f float64) {
 	for i := range b.Ns {
 		b.Ns[i] *= f
 	}
+	b.OverlapExposedNs *= f
 }
 
 // MarshalJSON renders the breakdown with one named field per phase
@@ -140,6 +156,8 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		CkptNs      float64 `json:"ckpt_ns"`
 		RecoveryNs  float64 `json:"recovery_ns"`
 		XportNs     float64 `json:"xport_ns"`
+		OverlapNs   float64 `json:"overlap_ns"`
+		OverlapExpNs float64 `json:"overlap_exposed_ns"`
 		TotalNs     float64 `json:"total_ns"`
 		TDLevels    int     `json:"td_levels"`
 		BULevels    int     `json:"bu_levels"`
@@ -149,7 +167,8 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		BUCompNs: b.Ns[BUComp], BUCommNs: b.Ns[BUComm],
 		SwitchNs: b.Ns[Switch], StallNs: b.Ns[Stall],
 		CkptNs: b.Ns[Ckpt], RecoveryNs: b.Ns[Recovery],
-		XportNs:  b.Ns[Xport],
+		XportNs:   b.Ns[Xport],
+		OverlapNs: b.Ns[Overlap], OverlapExpNs: b.OverlapExposedNs,
 		TotalNs:  b.Total(),
 		TDLevels: b.TDLevels, BULevels: b.BULevels, BUCommCount: b.BUCommCount,
 	})

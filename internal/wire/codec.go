@@ -74,6 +74,12 @@ type Codec struct {
 	SparseMaxDensity float64
 
 	buf   []byte
+	// slots are additional scratch buffers for pipelined collectives
+	// (EncodeSlot): a segmented ring keeps several of this rank's
+	// encoded chunks in flight at once — possibly several hops
+	// downstream — so each chunk needs scratch that lives until the
+	// whole collective completes. Grown on demand, reused across calls.
+	slots [][]byte
 	stats Stats
 }
 
@@ -110,6 +116,32 @@ func (c *Codec) pick(st SegStats) Format {
 // aliases seg, so, like the uncompressed path, no host copy happens
 // and none is charged.
 func (c *Codec) Encode(seg []uint64) (Payload, float64) {
+	var pl Payload
+	var ns float64
+	c.buf, pl, ns = c.encode(c.buf, seg)
+	return pl, ns
+}
+
+// EncodeSlot is Encode with a dedicated scratch buffer per slot, for
+// pipelined collectives that keep several of this rank's encoded chunks
+// in flight at once: chunk i encodes into slot i, and no slot is reused
+// until the collective completes globally (the engine's inter-level
+// allreduce), so a payload several ring hops downstream is never
+// overwritten by a later encode.
+func (c *Codec) EncodeSlot(seg []uint64, slot int) (Payload, float64) {
+	for len(c.slots) <= slot {
+		c.slots = append(c.slots, nil)
+	}
+	var pl Payload
+	var ns float64
+	c.slots[slot], pl, ns = c.encode(c.slots[slot], seg)
+	return pl, ns
+}
+
+// encode is the shared encode body: it writes any non-dense encoding
+// into buf (reusing its capacity) and returns the buffer, the payload
+// and the modelled CPU time.
+func (c *Codec) encode(buf []byte, seg []uint64) ([]byte, Payload, float64) {
 	st := Analyze(seg)
 	f := c.pick(st)
 	raw := 8 * int64(len(seg))
@@ -117,12 +149,13 @@ func (c *Codec) Encode(seg []uint64) (Payload, float64) {
 	pl := Payload{Format: f, RawBytes: raw}
 	switch f {
 	case FormatDense:
+		buf = buf[:0]
 		pl.Dense = seg
 		pl.WireBytes = int64(DenseSize(len(seg)))
 	default:
-		c.buf = Append(c.buf[:0], f, seg)
-		pl.Enc = c.buf
-		pl.WireBytes = int64(len(c.buf))
+		buf = Append(buf[:0], f, seg)
+		pl.Enc = buf
+		pl.WireBytes = int64(len(buf))
 		load.SeqBytes += pl.WireBytes
 		if f == FormatSparse {
 			load.CPUOps += int64(st.Pop)
@@ -133,7 +166,7 @@ func (c *Codec) Encode(seg []uint64) (Payload, float64) {
 	c.stats.Segments[f]++
 	c.stats.RawBytes += raw
 	c.stats.WireBytes += pl.WireBytes
-	return pl, c.Team.Parallel(load)
+	return buf, pl, c.Team.Parallel(load)
 }
 
 // Decode decodes pl into dst, overwriting it, and returns the modelled

@@ -109,6 +109,10 @@ const (
 	// OptCompressedAllgather adds adaptive frontier compression
 	// (dense/sparse/RLE, chosen per segment) to the bottom-up allgather.
 	OptCompressedAllgather = bfs.OptCompressedAllgather
+	// OptOverlapAllgather pipelines the compressed allgather with the
+	// frontier scan: chunks decode and scan while later chunks are still
+	// in flight (Options.OverlapSegments sets the pipeline depth).
+	OptOverlapAllgather = bfs.OptOverlapAllgather
 )
 
 // Traversal algorithm modes.
