@@ -52,6 +52,7 @@ var drivers = []driver{
 	{"faults", experiments.ExtFaults},
 	{"loss", experiments.ExtLoss},
 	{"overlap", experiments.ExtOverlap},
+	{"timeline", experiments.Timeline},
 	{"abl-allgather", experiments.AblationAllgather},
 	{"abl-compression", experiments.AblationCompression},
 	{"abl-hybrid", experiments.AblationHybrid},
@@ -185,6 +186,49 @@ func tableDiff(want, got *experiments.Table) string {
 	return ""
 }
 
+// obsFlags gathers the observability output settings for validation.
+type obsFlags struct {
+	metrics     bool
+	metricsOut  string
+	timeline    string
+	html        string
+	prom        string
+	sampleNs    float64
+	sampleNsSet bool // -sample-ns given explicitly
+	benchCheck  bool
+}
+
+// validateObsFlags returns the usage errors in an output-flag
+// combination; any error means exit 2, like an unknown -fig key.
+func validateObsFlags(f obsFlags) []string {
+	var errs []string
+	if f.metrics && f.metricsOut != "" {
+		errs = append(errs, "-metrics and -metrics-out are mutually exclusive: the report goes to stdout or to the file, not both")
+	}
+	if f.sampleNs <= 0 {
+		errs = append(errs, "-sample-ns must be positive")
+	}
+	if f.sampleNsSet && f.timeline == "" && f.html == "" && f.prom == "" {
+		errs = append(errs, "-sample-ns has no effect without -timeline, -report-html or -prom")
+	}
+	if f.benchCheck {
+		for _, c := range []struct{ name, val string }{
+			{"-metrics-out", f.metricsOut},
+			{"-timeline", f.timeline},
+			{"-report-html", f.html},
+			{"-prom", f.prom},
+		} {
+			if c.val != "" {
+				errs = append(errs, c.name+" cannot be combined with -bench-check (the check runs no exportable experiment)")
+			}
+		}
+		if f.metrics {
+			errs = append(errs, "-metrics cannot be combined with -bench-check (the check runs no exportable experiment)")
+		}
+	}
+	return errs
+}
+
 // figKeys returns every valid -fig value, including the special keys
 // that select no driver ("table1") or all of them ("all").
 func figKeys() []string {
@@ -220,6 +264,11 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file (open in chrome://tracing or Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the aggregated observability report (per-phase time, message counts by hop, barrier waits, critical path)")
+	metricsOut := flag.String("metrics-out", "", "write the aggregated observability report to this file instead of stdout (keeps -json output clean)")
+	timelineOut := flag.String("timeline", "", "write the run timeline (spans, counters, gauges) as a JSONL event stream to this file — the obsdiff input format")
+	htmlOut := flag.String("report-html", "", "write a self-contained HTML report (rank x phase heatmaps, gauge timelines) to this file")
+	promOut := flag.String("prom", "", "write a Prometheus-style text exposition of the run to this file")
+	sampleNs := flag.Float64("sample-ns", experiments.DefaultSampleNs, "virtual-time gauge sampling grid pitch in ns, used by -timeline/-report-html/-prom")
 	benchJSON := flag.String("bench-json", "", "time each selected experiment and write a regression baseline (BENCH_<date>.json) to this file")
 	faultFile := flag.String("fault", "", "apply a deterministic fault plan (JSON, see internal/fault.Plan) to every run")
 	benchCheckFile := flag.String("bench-check", "", "rerun the experiments in a -bench-json baseline at its recorded scale/roots and fail on any table-value drift")
@@ -233,6 +282,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bfsbench: unknown -fig value(s) %s; valid keys: %s\n",
 			strings.Join(quoted, ","), strings.Join(figKeys(), ","))
+		os.Exit(2)
+	}
+	sampleNsSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "sample-ns" {
+			sampleNsSet = true
+		}
+	})
+	if errs := validateObsFlags(obsFlags{
+		metrics: *metrics, metricsOut: *metricsOut,
+		timeline: *timelineOut, html: *htmlOut, prom: *promOut,
+		sampleNs: *sampleNs, sampleNsSet: sampleNsSet,
+		benchCheck: *benchCheckFile != "",
+	}); len(errs) != 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "bfsbench: %s\n", e)
+		}
 		os.Exit(2)
 	}
 
@@ -256,8 +322,12 @@ func main() {
 		WeakNode:  *weak,
 		Cache:     graph500.NewGraphCache(),
 	}
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *metricsOut != "" ||
+		*timelineOut != "" || *htmlOut != "" || *promOut != "" {
 		spec.Obs = obs.NewRecorder()
+	}
+	if *timelineOut != "" || *htmlOut != "" || *promOut != "" {
+		spec.SampleNs = *sampleNs
 	}
 	if *faultFile != "" {
 		data, err := os.ReadFile(*faultFile)
@@ -340,11 +410,39 @@ func main() {
 		hits, misses := spec.Cache.Stats()
 		fmt.Printf("graph cache: hits=%d misses=%d\n", hits, misses)
 	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(spec.Obs.BuildReport().String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bfsbench: wrote metrics report to %s\n", *metricsOut)
+	}
 	if *traceOut != "" {
 		if err := spec.Obs.WriteChromeTraceFile(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bfsbench: trace: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bfsbench: wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *timelineOut != "" {
+		if err := spec.Obs.WriteTimelineFile(*timelineOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: timeline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bfsbench: wrote timeline JSONL to %s\n", *timelineOut)
+	}
+	if *htmlOut != "" {
+		if err := spec.Obs.WriteHTMLReportFile(*htmlOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: report-html: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bfsbench: wrote HTML report to %s\n", *htmlOut)
+	}
+	if *promOut != "" {
+		if err := spec.Obs.WritePromFile(*promOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: prom: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bfsbench: wrote Prometheus exposition to %s\n", *promOut)
 	}
 }

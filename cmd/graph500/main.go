@@ -80,7 +80,27 @@ func main() {
 	csvOut := flag.String("csv", "", "write per-root results as CSV to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the aggregated observability report")
+	timelineOut := flag.String("timeline", "", "write the run timeline (spans, counters, gauges) as a JSONL event stream to this file — the obsdiff input format")
+	htmlOut := flag.String("report-html", "", "write a self-contained HTML report (rank x phase heatmaps, gauge timelines) to this file")
+	promOut := flag.String("prom", "", "write a Prometheus-style text exposition of the run to this file")
+	sampleNs := flag.Float64("sample-ns", 100_000, "virtual-time gauge sampling grid pitch in ns, used by -timeline/-report-html/-prom")
 	flag.Parse()
+
+	if *sampleNs <= 0 {
+		fmt.Fprintln(os.Stderr, "graph500: -sample-ns must be positive")
+		os.Exit(2)
+	}
+	sampled := *timelineOut != "" || *htmlOut != "" || *promOut != ""
+	sampleNsSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "sample-ns" {
+			sampleNsSet = true
+		}
+	})
+	if sampleNsSet && !sampled {
+		fmt.Fprintln(os.Stderr, "graph500: -sample-ns has no effect without -timeline, -report-html or -prom")
+		os.Exit(2)
+	}
 
 	pol, ok := map[string]numabfs.Policy{
 		"noflag":     numabfs.PPN1NoFlag,
@@ -134,10 +154,10 @@ func main() {
 	}
 
 	var rec *numabfs.Recorder
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || sampled {
 		rec = numabfs.NewRecorder()
 	}
-	res, err := numabfs.Run(numabfs.Benchmark{
+	bench := numabfs.Benchmark{
 		Machine:  cfg,
 		Policy:   pol,
 		Params:   params,
@@ -145,7 +165,11 @@ func main() {
 		NumRoots: *roots,
 		Validate: *validate,
 		Obs:      rec,
-	})
+	}
+	if sampled {
+		bench.SampleNs = *sampleNs
+	}
+	res, err := numabfs.Run(bench)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "graph500: %v\n", err)
 		os.Exit(1)
@@ -181,6 +205,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "graph500: wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *timelineOut != "" {
+		if err := rec.WriteTimelineFile(*timelineOut); err != nil {
+			fmt.Fprintf(os.Stderr, "graph500: timeline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graph500: wrote timeline JSONL to %s\n", *timelineOut)
+	}
+	if *htmlOut != "" {
+		if err := rec.WriteHTMLReportFile(*htmlOut); err != nil {
+			fmt.Fprintf(os.Stderr, "graph500: report-html: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graph500: wrote HTML report to %s\n", *htmlOut)
+	}
+	if *promOut != "" {
+		if err := rec.WritePromFile(*promOut); err != nil {
+			fmt.Fprintf(os.Stderr, "graph500: prom: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graph500: wrote Prometheus text to %s\n", *promOut)
 	}
 	if *levels && len(res.PerRoot) > 0 {
 		fmt.Printf("\nfrontier growth (root %d):\n", res.PerRoot[0].Root)

@@ -1,0 +1,66 @@
+// Command obsdiff compares two exported timeline runs (the JSONL
+// streams written by bfsbench/graph500 -timeline) and attributes the
+// total virtual-time delta per phase, per rank, and per session — the
+// profiler view of "what did this optimization actually buy".
+//
+// Usage:
+//
+//	obsdiff baseline.jsonl candidate.jsonl
+//	obsdiff -json baseline.jsonl candidate.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"numabfs/internal/obs"
+)
+
+// run is the testable entry point: parses args, prints the diff to
+// stdout, and returns the process exit code (0 ok, 1 runtime error,
+// 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obsdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: obsdiff [-json] <baseline.jsonl> <candidate.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	a, err := obs.ReadRunFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "obsdiff: %v\n", err)
+		return 1
+	}
+	b, err := obs.ReadRunFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "obsdiff: %v\n", err)
+		return 1
+	}
+	d := obs.DiffRuns(a, b)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fmt.Fprintf(stderr, "obsdiff: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, d.String())
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

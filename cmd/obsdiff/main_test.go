@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"numabfs/internal/obs"
+	"numabfs/internal/trace"
+)
+
+// writeRun exports a tiny one-session recording with the given td-comp
+// duration to a JSONL file and returns its path.
+func writeRun(t *testing.T, dir, name string, tdComp float64) string {
+	t.Helper()
+	rec := obs.NewRecorder()
+	s := rec.NewSession("cfg")
+	rk := s.AddRank(0, 0, 0)
+	rk.PhaseSpan(trace.TDComp, 0, 0, tdComp)
+	path := filepath.Join(dir, name)
+	if err := rec.WriteTimelineFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTextAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	a := writeRun(t, dir, "a.jsonl", 100)
+	b := writeRun(t, dir, "b.jsonl", 70)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "td-comp") || !strings.Contains(text, "-0.0000") {
+		t.Errorf("text output:\n%s", text)
+	}
+
+	out.Reset()
+	if code := run([]string{"-json", a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var d obs.RunDiff
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("json output: %v", err)
+	}
+	if len(d.Sessions) != 1 || d.Sessions[0].DeltaNs != -30 {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args: exit %d", code)
+	}
+	if code := run([]string{"one.jsonl"}, &out, &errOut); code != 2 {
+		t.Fatalf("one arg: exit %d", code)
+	}
+	if code := run([]string{"-bogus", "a", "b"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	a := writeRun(t, dir, "a.jsonl", 100)
+	var out, errOut bytes.Buffer
+	if code := run([]string{a, filepath.Join(dir, "nope.jsonl")}, &out, &errOut); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	// Corrupt input also fails cleanly.
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run([]string{a, bad}, &out, &errOut); code != 1 {
+		t.Fatalf("corrupt file: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "bad.jsonl") {
+		t.Errorf("error does not name the file: %s", errOut.String())
+	}
+}

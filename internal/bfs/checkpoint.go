@@ -5,6 +5,7 @@ import (
 
 	"numabfs/internal/machine"
 	"numabfs/internal/mpi"
+	"numabfs/internal/obs"
 	"numabfs/internal/trace"
 )
 
@@ -139,6 +140,7 @@ func (rs *rankState) saveCheckpoint(p *mpi.Proc, st *loopState) {
 	}))
 	rs.bd.Add(trace.Ckpt, p.Clock()-t0)
 	rs.rec.PhaseSpan(trace.Ckpt, rs.levels, t0, p.Clock())
+	rs.rec.GaugeAdd(obs.GaugeCkptBytes, t0, float64(ck.bytes()))
 	ck.clock = p.Clock()
 	ck.bd = rs.bd
 }

@@ -2,6 +2,7 @@ package bfs
 
 import (
 	"numabfs/internal/mpi"
+	"numabfs/internal/obs"
 	"numabfs/internal/trace"
 )
 
@@ -85,6 +86,9 @@ func (rs *rankState) levelLoop(p *mpi.Proc, st *loopState) {
 			Ns: p.Clock() - levelStart,
 		})
 		rs.rec.LevelSpan(st.bottomUp, rs.levels, levelStart, p.Clock())
+		rs.rec.GaugeSet(obs.GaugeFrontier, p.Clock(), float64(st.nf))
+		rs.rec.GaugeSet(obs.GaugeFrontierDensity, p.Clock(),
+			float64(st.nf)/float64(r.Params.NumVertices()))
 		if st.nf == 0 {
 			break
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"numabfs/internal/mpi"
+	"numabfs/internal/obs"
 	"numabfs/internal/wire"
 )
 
@@ -202,7 +203,10 @@ func (g *Group) allgatherRingSegmented(p *mpi.Proc, buf []uint64, l Layout, stre
 		waitStart := p.Clock()
 		rr.Wait()
 		sr.Wait()
-		ov.ExposedNs += p.Clock() - waitStart
+		if d := p.Clock() - waitStart; d > 0 {
+			ov.ExposedNs += d
+			p.Obs().GaugeAdd(obs.GaugeExposedWait, waitStart, d)
+		}
 		if h := minf(waitStart, rr.EndNs) - rr.BeginNs; h > 0 {
 			ov.HiddenNs += h
 		}

@@ -42,6 +42,11 @@ type Spec struct {
 	// driver runs into its own labeled session (span timelines, comm
 	// counters) for Chrome-trace export and the metrics report.
 	Obs *obs.Recorder
+	// SampleNs, when positive, enables the virtual-time gauge grid at
+	// that bucket pitch on every recorded session (requires Obs) — the
+	// bfsbench -sample-ns flag feeding the timeline/HTML/Prometheus
+	// exports.
+	SampleNs float64
 	// Faults, when non-nil, applies a deterministic fault plan
 	// (internal/fault) to every configuration the driver runs — the
 	// bfsbench -fault flag. ExtFaults builds its own plans and ignores
@@ -91,6 +96,7 @@ func (s Spec) run(nodes int, policy machine.Policy, opts bfs.Options) (*graph500
 		NumRoots: s.Roots,
 		Validate: s.Validate,
 		Obs:      s.Obs,
+		SampleNs: s.SampleNs,
 		Faults:   s.Faults,
 		Cache:    s.Cache,
 	})

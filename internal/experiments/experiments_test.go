@@ -9,6 +9,7 @@ import (
 	"numabfs/internal/fault"
 	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
+	"numabfs/internal/obs"
 	"numabfs/internal/trace"
 )
 
@@ -408,6 +409,64 @@ func TestOverlapAcceptanceAtDefaultScale(t *testing.T) {
 	if ro.Breakdown.Ns[trace.BUComm] >= rc.Breakdown.Ns[trace.BUComm] {
 		t.Errorf("exposed bu-comm %.0f ns not below compressed %.0f ns",
 			ro.Breakdown.Ns[trace.BUComm], rc.Breakdown.Ns[trace.BUComm])
+	}
+}
+
+func TestTimelineShape(t *testing.T) {
+	s := quick()
+	s.Obs = obs.NewRecorder()
+	tab, err := Timeline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (compressed, overlap)", len(tab.Rows))
+	}
+	if len(tab.Columns) != 7 {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != len(tab.Columns) {
+			t.Fatalf("row %q has %d values for %d columns", r.Label, len(r.Values), len(tab.Columns))
+		}
+		vals := map[string]float64{}
+		for i, c := range tab.Columns {
+			vals[c] = r.Values[i]
+		}
+		if vals["TEPS"] <= 0 || vals["time ms"] <= 0 {
+			t.Errorf("row %q: non-positive TEPS/time: %v", r.Label, r.Values)
+		}
+		// The gauge streams must have recorded real activity: the frontier
+		// peaks above a single vertex, density stays a fraction, inter-node
+		// traffic flows, and link utilization is a positive fraction of the
+		// per-stream peak.
+		if vals["peak frontier"] < 2 {
+			t.Errorf("row %q: peak frontier %g — frontier gauge not sampled", r.Label, vals["peak frontier"])
+		}
+		if d := vals["peak density"]; d <= 0 || d > 1 {
+			t.Errorf("row %q: peak density %g outside (0, 1]", r.Label, d)
+		}
+		if vals["inter-node MiB"] <= 0 {
+			t.Errorf("row %q: no inter-node bytes sampled", r.Label)
+		}
+		if u := vals["peak link util"]; u <= 0 {
+			t.Errorf("row %q: link utilization %g not positive", r.Label, u)
+		}
+	}
+	// Both sessions recorded with sampling enabled, ready for obsdiff.
+	sessions := s.Obs.Sessions()
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(sessions))
+	}
+	for _, sess := range sessions {
+		if sess.Sampler() == nil {
+			t.Errorf("session %q recorded without sampling", sess.Label)
+		}
+	}
+	// The overlap row must attribute some exposed wait or hide the
+	// transfers entirely; either way the sweep ran the pipelined level.
+	if !strings.Contains(tab.Rows[1].Label, "Overlap") {
+		t.Errorf("second row %q is not the overlap level", tab.Rows[1].Label)
 	}
 }
 

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/machine"
+	"numabfs/internal/obs"
+)
+
+// DefaultSampleNs is the gauge grid pitch the timeline demo (and the
+// bfsbench -sample-ns default) uses: 100µs of virtual time, fine enough
+// to resolve individual BFS levels at the test scales while keeping a
+// whole sweep's sample volume small.
+const DefaultSampleNs = 100_000
+
+// Timeline is the sampling-layer demo sweep (-fig timeline): run the
+// compressed allgather (level 5) and the overlapped allgather (level 6)
+// on a fixed 4-node cluster with the virtual-time gauge grid enabled,
+// then distill each run's gauge streams into headline rows — peak
+// frontier and bitmap density, inter-node wire volume and peak link
+// utilization per bucket, and the pipeline's exposed wait. The two
+// sessions it records are exactly the pair the obsdiff walkthrough in
+// EXPERIMENTS.md diffs.
+func Timeline(s Spec) (*Table, error) {
+	const nodes = 4
+	scale := s.scaleFor(nodes)
+	rec := s.Obs
+	if rec == nil {
+		// The sweep is about the gauges, so it records even when the CLI
+		// attached no recorder.
+		rec = obs.NewRecorder()
+	}
+	sampleNs := s.SampleNs
+	if sampleNs <= 0 {
+		sampleNs = DefaultSampleNs
+	}
+
+	t := &Table{
+		Name:  "Ext. timeline",
+		Title: fmt.Sprintf("Virtual-time gauge sampling: compressed vs overlapped allgather (%d nodes, scale %d, bucket %.0f ns)", nodes, scale, sampleNs),
+		Columns: []string{
+			"TEPS", "time ms", "peak frontier", "peak density",
+			"inter-node MiB", "peak link util", "exposed wait ms",
+		},
+	}
+
+	cfgs := []struct {
+		label string
+		opt   bfs.Opt
+	}{
+		{"+ Compressed allgather", bfs.OptCompressedAllgather},
+		{"+ Overlap allgather", bfs.OptOverlapAllgather},
+	}
+	for _, c := range cfgs {
+		fs := s
+		fs.Obs = rec
+		fs.SampleNs = sampleNs
+		// No graph cache: a cache hit would skip kernel-1 construction and
+		// shift the session's epoch, so the two rows' gauge streams would
+		// bucket-align differently. Building both keeps the timelines —
+		// and the obsdiff walkthrough over their exports — apples to
+		// apples; the modelled results are identical either way.
+		fs.Cache = nil
+		opts := bfs.DefaultOptions()
+		opts.Opt = c.opt
+		res, err := fs.run(nodes, machine.PPN8Bind, opts)
+		if err != nil {
+			return nil, fmt.Errorf("timeline %s: %w", c.label, err)
+		}
+		sess := rec.Sessions()[len(rec.Sessions())-1]
+		g := gaugeDigest(sess, sampleNs)
+		t.AddRow(c.label, res.HarmonicTEPS, res.MeanTimeNs/1e6,
+			g.peakFrontier, g.peakDensity, g.interBytes/(1<<20),
+			g.peakUtil, g.exposedNs/1e6)
+	}
+	t.Notes = append(t.Notes,
+		"gauges are recorded on the virtual-time grid by the bfs/mpi/collective layers; recording reads clocks only, so TEPS matches the unsampled run bit for bit",
+		"peak link util is the largest per-bucket inter-node wire volume over the per-stream peak bandwidth the machine model publishes",
+		"export the same two sessions with -timeline and compare them with obsdiff to attribute the level-6 delta per phase and rank")
+	return t, nil
+}
+
+// gaugeDigest folds one session's gauge streams into the sweep's
+// headline numbers.
+type digest struct {
+	peakFrontier float64
+	peakDensity  float64
+	interBytes   float64
+	peakUtil     float64
+	exposedNs    float64
+}
+
+func gaugeDigest(sess *obs.Session, sampleNs float64) digest {
+	var d digest
+	linkCap := sess.LinkPeakBytesPerNs() * sampleNs
+	// Skip buckets that end inside the setup segment (before the first
+	// mark): the rows compare BFS traversal traffic, and kernel-1
+	// construction bytes would otherwise swing with graph-cache hits.
+	setupEnd := 0.0
+	if marks := sess.Marks(); len(marks) > 0 {
+		setupEnd = marks[0]
+	}
+	afterSetup := func(pt obs.GaugePoint) bool {
+		return (float64(pt.Bucket)+1)*sampleNs > setupEnd
+	}
+	for _, rk := range sess.Ranks() {
+		for _, pt := range rk.GaugeSeries(obs.GaugeFrontier) {
+			if pt.V > d.peakFrontier {
+				d.peakFrontier = pt.V
+			}
+		}
+		for _, pt := range rk.GaugeSeries(obs.GaugeFrontierDensity) {
+			if pt.V > d.peakDensity {
+				d.peakDensity = pt.V
+			}
+		}
+		for _, pt := range rk.GaugeSeries(obs.GaugeInterBytes) {
+			if !afterSetup(pt) {
+				continue
+			}
+			d.interBytes += pt.V
+			if linkCap > 0 && pt.V/linkCap > d.peakUtil {
+				d.peakUtil = pt.V / linkCap
+			}
+		}
+		for _, pt := range rk.GaugeSeries(obs.GaugeExposedWait) {
+			d.exposedNs += pt.V
+		}
+	}
+	return d
+}

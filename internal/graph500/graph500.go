@@ -35,6 +35,13 @@ type Config struct {
 	// communication counters. Tracing never changes results.
 	Obs *obs.Recorder
 
+	// SampleNs, when positive, additionally enables the session's
+	// virtual-time gauge grid (internal/obs/sample.go) at that bucket
+	// pitch: frontier size and density, link bytes in flight, retransmit
+	// backlog, checkpoint debt, exposed collective waits. Requires Obs;
+	// sampling never changes results either.
+	SampleNs float64
+
 	// Faults, when non-nil, is the deterministic perturbation plan
 	// (internal/fault) applied to every BFS iteration: degraded links,
 	// stragglers, jitter, and rank crashes survived through checkpoint
@@ -80,7 +87,11 @@ func Run(cfg Config) (*Result, error) {
 		label := fmt.Sprintf("%s %s g=%d scale=%d nodes=%d",
 			cfg.Policy, cfg.Opts.Opt, cfg.Opts.Granularity,
 			cfg.Params.Scale, cfg.Machine.Nodes)
-		runner.AttachObs(cfg.Obs.NewSession(label))
+		sess := cfg.Obs.NewSession(label)
+		if cfg.SampleNs > 0 {
+			sess.EnableSampling(cfg.SampleNs)
+		}
+		runner.AttachObs(sess)
 	}
 	cached := false
 	if cfg.Cache != nil {

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"numabfs/internal/fault"
+	"numabfs/internal/obs"
 	"numabfs/internal/wire"
 )
 
@@ -57,14 +58,16 @@ func (p *Proc) deliver(m message, begin float64) (recvEnd, sendEnd float64) {
 		}
 		p.w.net.CountRaw(m.raw, intra)
 		end := begin + dur
+		p.obs.LinkTransfer(!intra, m.bytes, begin, end)
 		return end, end
 	}
 	return p.reliableDeliver(m, begin, srcNode)
 }
 
 // reliableDeliver walks the reliable transport's attempt schedule for
-// one inter-node message. It allocates nothing: the hot loop is scalar
-// arithmetic over the deterministic draw hash plus atomic ledger adds.
+// one inter-node message. Without gauge sampling it allocates nothing:
+// the hot loop is scalar arithmetic over the deterministic draw hash
+// plus atomic ledger adds.
 func (p *Proc) reliableDeliver(m message, begin float64, srcNode int) (recvEnd, sendEnd float64) {
 	inj := p.w.inj
 	net := p.w.net
@@ -85,6 +88,9 @@ func (p *Proc) reliableDeliver(m message, begin float64, srcNode int) (recvEnd, 
 			dur += j
 		}
 		arrive = sendAt + dur
+		// Every attempt occupies the wire for its flight window, lost or
+		// not — the bytes-in-flight gauge sees them all.
+		p.obs.LinkTransfer(true, frame, sendAt, arrive)
 		// Sample the link at the attempt's send time, so a transient
 		// brown-out window is outlasted by the backoff schedule.
 		loss = inj.LossAt(srcNode, p.node, sendAt)
@@ -104,6 +110,7 @@ func (p *Proc) reliableDeliver(m message, begin float64, srcNode int) (recvEnd, 
 		net.CountXportOverhead(frame)
 		overheadBytes += frame
 		retrans++
+		p.obs.GaugeAdd(obs.GaugeRetransBacklog, sendAt, 1)
 		if attempt >= budget {
 			at := sendAt + rto
 			net.CountXportEvents(retrans, corrupt, 0, 0, 0)

@@ -262,6 +262,7 @@ func (w *World) MaxClock() float64 {
 // with and without a session attached.
 func (w *World) AttachObs(s *obs.Session) {
 	w.obsSess = s
+	s.SetLinkPeak(w.net.PeakStreamBandwidth())
 	for _, p := range w.procs {
 		// local is the rank's socket under the bound placement and the
 		// best available stand-in otherwise.

@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file defines the portable run snapshot — the data model every
+// timeline consumer shares. A live Recorder dumps into a Run; a Run
+// serializes to a JSONL event stream (one self-describing JSON object
+// per line, for external tooling and for obsdiff); ReadRun parses the
+// stream back into the identical Run. The Prometheus and HTML exporters
+// and the run-diff profiler all operate on *Run, so a live recording
+// and a file loaded back are interchangeable.
+//
+// The stream is byte-deterministic for a deterministic recording:
+// lines are emitted in session, rank, and record order, struct fields
+// marshal in declaration order, and maps marshal with sorted keys.
+
+// Run is a portable snapshot of one recording.
+type Run struct {
+	Sessions []*RunSession
+}
+
+// RunSession is one session's snapshot.
+type RunSession struct {
+	Label    string
+	BucketNs float64 // sampling grid pitch; 0 when sampling was off
+	LinkPeak float64 // per-stream inter-node peak bandwidth (bytes/ns), 0 unknown
+	Marks    []float64
+	Ranks    []*RunRank
+}
+
+// RunRank is one rank's snapshot.
+type RunRank struct {
+	ID     int
+	Node   int
+	Socket int
+	Spans  []Span
+	Comm   Comm
+	Gauges [NumGauges][]GaugePoint
+}
+
+// Dump snapshots the recorder into a Run. Gauge streams are folded into
+// sorted per-bucket series (the wire form); spans and counters are
+// copied as recorded.
+func (r *Recorder) Dump() *Run {
+	run := &Run{}
+	for _, s := range r.Sessions() {
+		rs := &RunSession{
+			Label:    s.Label,
+			LinkPeak: s.linkPeak,
+			Marks:    append([]float64(nil), s.marks...),
+		}
+		if s.sampler != nil {
+			rs.BucketNs = s.sampler.BucketNs
+		}
+		for _, rk := range s.Ranks() {
+			rr := &RunRank{
+				ID: rk.ID, Node: rk.Node, Socket: rk.Socket,
+				Spans: append([]Span(nil), rk.spans...),
+				Comm:  rk.comm,
+			}
+			rr.Comm.BarrierWaits = append([]float64(nil), rk.comm.BarrierWaits...)
+			for g := Gauge(0); g < NumGauges; g++ {
+				rr.Gauges[g] = rk.GaugeSeries(g)
+			}
+			rs.Ranks = append(rs.Ranks, rr)
+		}
+		run.Sessions = append(run.Sessions, rs)
+	}
+	return run
+}
+
+// JSONL line records. The "t" tag makes each line self-describing; "s"
+// and "r" are the session and rank indices the line belongs to.
+type jsonlSession struct {
+	T        string    `json:"t"` // "session"
+	S        int       `json:"s"`
+	Label    string    `json:"label"`
+	Ranks    int       `json:"ranks"`
+	BucketNs float64   `json:"bucket_ns,omitempty"`
+	LinkPeak float64   `json:"link_peak,omitempty"`
+	Marks    []float64 `json:"marks,omitempty"`
+}
+
+type jsonlRank struct {
+	T      string `json:"t"` // "rank"
+	S      int    `json:"s"`
+	R      int    `json:"r"`
+	ID     int    `json:"id"`
+	Node   int    `json:"node"`
+	Socket int    `json:"socket"`
+}
+
+type jsonlSpan struct {
+	T     string  `json:"t"` // "span"
+	S     int     `json:"s"`
+	R     int     `json:"r"`
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Level int     `json:"level"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// commWire mirrors Comm with stable wire names.
+type commWire struct {
+	Msgs             [NumHops]int64   `json:"msgs"`
+	Bytes            [NumHops]int64   `json:"bytes"`
+	RawBytes         [NumHops]int64   `json:"raw_bytes"`
+	Barriers         int64            `json:"barriers,omitempty"`
+	BarrierWaitNs    float64          `json:"barrier_wait_ns,omitempty"`
+	BarrierWaits     []float64        `json:"barrier_waits,omitempty"`
+	NodeBarriers     int64            `json:"node_barriers,omitempty"`
+	NodeBarrierWait  float64          `json:"node_barrier_wait_ns,omitempty"`
+	Collectives      map[string]int64 `json:"collectives,omitempty"`
+	Faults           map[string]int64 `json:"faults,omitempty"`
+	Retransmits      int64            `json:"retransmits,omitempty"`
+	CorruptDetected  int64            `json:"corrupt_detected,omitempty"`
+	DupsDelivered    int64            `json:"dups_delivered,omitempty"`
+	Reordered        int64            `json:"reordered,omitempty"`
+	Acks             int64            `json:"acks,omitempty"`
+	XportOverheadNs  float64          `json:"xport_overhead_ns,omitempty"`
+	XportOverheadBys int64            `json:"xport_overhead_bytes,omitempty"`
+	OverlapHiddenNs  float64          `json:"overlap_hidden_ns,omitempty"`
+	OverlapExposedNs float64          `json:"overlap_exposed_ns,omitempty"`
+}
+
+type jsonlComm struct {
+	T    string   `json:"t"` // "comm"
+	S    int      `json:"s"`
+	R    int      `json:"r"`
+	Comm commWire `json:"comm"`
+}
+
+type jsonlGauge struct {
+	T string  `json:"t"` // "gauge"
+	S int     `json:"s"`
+	R int     `json:"r"`
+	G string  `json:"g"`
+	B int64   `json:"b"`
+	V float64 `json:"v"`
+}
+
+func commToWire(c *Comm) commWire {
+	return commWire{
+		Msgs: c.Msgs, Bytes: c.Bytes, RawBytes: c.RawBytes,
+		Barriers: c.Barriers, BarrierWaitNs: c.BarrierWaitNs,
+		BarrierWaits: c.BarrierWaits,
+		NodeBarriers: c.NodeBarriers, NodeBarrierWait: c.NodeBarrierWaitNs,
+		Collectives: c.Collectives, Faults: c.Faults,
+		Retransmits: c.Retransmits, CorruptDetected: c.CorruptDetected,
+		DupsDelivered: c.DupsDelivered, Reordered: c.Reordered, Acks: c.Acks,
+		XportOverheadNs: c.XportOverheadNs, XportOverheadBys: c.XportOverheadBys,
+		OverlapHiddenNs: c.OverlapHiddenNs, OverlapExposedNs: c.OverlapExposedNs,
+	}
+}
+
+func wireToComm(w *commWire) Comm {
+	return Comm{
+		Msgs: w.Msgs, Bytes: w.Bytes, RawBytes: w.RawBytes,
+		Barriers: w.Barriers, BarrierWaitNs: w.BarrierWaitNs,
+		BarrierWaits: w.BarrierWaits,
+		NodeBarriers: w.NodeBarriers, NodeBarrierWaitNs: w.NodeBarrierWait,
+		Collectives: w.Collectives, Faults: w.Faults,
+		Retransmits: w.Retransmits, CorruptDetected: w.CorruptDetected,
+		DupsDelivered: w.DupsDelivered, Reordered: w.Reordered, Acks: w.Acks,
+		XportOverheadNs: w.XportOverheadNs, XportOverheadBys: w.XportOverheadBys,
+		OverlapHiddenNs: w.OverlapHiddenNs, OverlapExposedNs: w.OverlapExposedNs,
+	}
+}
+
+// WriteJSONL writes the run as a JSONL event stream: for each session a
+// "session" line, then per rank a "rank" line, its "span" lines in
+// record order, one "comm" line, and its "gauge" lines in gauge and
+// bucket order.
+func (run *Run) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline JSONL wants
+	for si, s := range run.Sessions {
+		if err := enc.Encode(jsonlSession{
+			T: "session", S: si, Label: s.Label, Ranks: len(s.Ranks),
+			BucketNs: s.BucketNs, LinkPeak: s.LinkPeak, Marks: s.Marks,
+		}); err != nil {
+			return err
+		}
+		for ri, rk := range s.Ranks {
+			if err := enc.Encode(jsonlRank{
+				T: "rank", S: si, R: ri, ID: rk.ID, Node: rk.Node, Socket: rk.Socket,
+			}); err != nil {
+				return err
+			}
+			for _, sp := range rk.Spans {
+				if err := enc.Encode(jsonlSpan{
+					T: "span", S: si, R: ri, Name: sp.Name, Cat: sp.Cat,
+					Level: sp.Level, Start: sp.Start, End: sp.End,
+				}); err != nil {
+					return err
+				}
+			}
+			if err := enc.Encode(jsonlComm{
+				T: "comm", S: si, R: ri, Comm: commToWire(&rk.Comm),
+			}); err != nil {
+				return err
+			}
+			for g := Gauge(0); g < NumGauges; g++ {
+				for _, pt := range rk.Gauges[g] {
+					if err := enc.Encode(jsonlGauge{
+						T: "gauge", S: si, R: ri, G: g.String(), B: pt.Bucket, V: pt.V,
+					}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTimelineJSONL writes the recorder's snapshot as a JSONL stream.
+func (r *Recorder) WriteTimelineJSONL(w io.Writer) error {
+	return r.Dump().WriteJSONL(w)
+}
+
+// WriteTimelineFile writes the recorder's JSONL stream to path.
+func (r *Recorder) WriteTimelineFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTimelineJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRun parses a JSONL stream written by WriteJSONL back into a Run.
+// It validates that every line references a session and rank that was
+// already declared.
+func ReadRun(r io.Reader) (*Run, error) {
+	run := &Run{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	rank := func(s, ri int) (*RunRank, error) {
+		if s < 0 || s >= len(run.Sessions) {
+			return nil, fmt.Errorf("line %d: session %d not declared", lineNo, s)
+		}
+		sess := run.Sessions[s]
+		if ri < 0 || ri >= len(sess.Ranks) {
+			return nil, fmt.Errorf("line %d: rank %d of session %d not declared", lineNo, ri, s)
+		}
+		return sess.Ranks[ri], nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		switch probe.T {
+		case "session":
+			var l jsonlSession
+			if err := json.Unmarshal(line, &l); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if l.S != len(run.Sessions) {
+				return nil, fmt.Errorf("line %d: session index %d, want %d", lineNo, l.S, len(run.Sessions))
+			}
+			run.Sessions = append(run.Sessions, &RunSession{
+				Label: l.Label, BucketNs: l.BucketNs, LinkPeak: l.LinkPeak, Marks: l.Marks,
+			})
+		case "rank":
+			var l jsonlRank
+			if err := json.Unmarshal(line, &l); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if l.S < 0 || l.S >= len(run.Sessions) {
+				return nil, fmt.Errorf("line %d: session %d not declared", lineNo, l.S)
+			}
+			sess := run.Sessions[l.S]
+			if l.R != len(sess.Ranks) {
+				return nil, fmt.Errorf("line %d: rank index %d, want %d", lineNo, l.R, len(sess.Ranks))
+			}
+			sess.Ranks = append(sess.Ranks, &RunRank{ID: l.ID, Node: l.Node, Socket: l.Socket})
+		case "span":
+			var l jsonlSpan
+			if err := json.Unmarshal(line, &l); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			rk, err := rank(l.S, l.R)
+			if err != nil {
+				return nil, err
+			}
+			rk.Spans = append(rk.Spans, Span{
+				Name: l.Name, Cat: l.Cat, Level: l.Level, Start: l.Start, End: l.End,
+			})
+		case "comm":
+			var l jsonlComm
+			if err := json.Unmarshal(line, &l); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			rk, err := rank(l.S, l.R)
+			if err != nil {
+				return nil, err
+			}
+			rk.Comm = wireToComm(&l.Comm)
+		case "gauge":
+			var l jsonlGauge
+			if err := json.Unmarshal(line, &l); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			rk, err := rank(l.S, l.R)
+			if err != nil {
+				return nil, err
+			}
+			g, ok := GaugeByName(l.G)
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown gauge %q", lineNo, l.G)
+			}
+			rk.Gauges[g] = append(rk.Gauges[g], GaugePoint{Bucket: l.B, V: l.V})
+		default:
+			return nil, fmt.Errorf("line %d: unknown record type %q", lineNo, probe.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Sessions) == 0 {
+		return nil, fmt.Errorf("empty timeline: no session records")
+	}
+	return run, nil
+}
+
+// ReadRunFile reads a JSONL timeline from path.
+func ReadRunFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	run, err := ReadRun(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return run, nil
+}

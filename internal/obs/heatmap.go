@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+
+	"numabfs/internal/trace"
+)
+
+// Heatmap is one rank-per-row matrix ready for rendering: the rank ×
+// phase view (where does each rank's time go) and the rank × time view
+// (how a gauge evolves over the session grid) both produce it.
+type Heatmap struct {
+	Title string
+	Unit  string
+	Rows  []string    // row labels, one per rank
+	Cols  []string    // column labels (phase names or bucket times)
+	Cells [][]float64 // [row][col]
+	Max   float64     // largest cell, for color scaling
+}
+
+func rankLabel(rk *RunRank) string {
+	return fmt.Sprintf("rank %d (n%d/s%d)", rk.ID, rk.Node, rk.Socket)
+}
+
+// PhaseHeatmap builds the rank × phase matrix: each cell is the rank's
+// total virtual ns charged to the phase over the whole session. Columns
+// are the trace phases in enum order, so the matrix shape is identical
+// across runs and diffable cell-by-cell.
+func (s *RunSession) PhaseHeatmap() *Heatmap {
+	h := &Heatmap{
+		Title: "rank x phase (total ns)",
+		Unit:  "ns",
+	}
+	h.Cols = trace.PhaseNames()
+	idx := make(map[string]int, len(h.Cols))
+	for i, name := range h.Cols {
+		idx[name] = i
+	}
+	for _, rk := range s.Ranks {
+		row := make([]float64, len(h.Cols))
+		for _, sp := range rk.Spans {
+			if sp.Cat != CatPhase {
+				continue
+			}
+			if i, ok := idx[sp.Name]; ok {
+				row[i] += sp.End - sp.Start
+			}
+		}
+		h.Rows = append(h.Rows, rankLabel(rk))
+		h.Cells = append(h.Cells, row)
+		for _, v := range row {
+			if v > h.Max {
+				h.Max = v
+			}
+		}
+	}
+	return h
+}
+
+// GaugeHeatmap builds the rank × time matrix of one gauge on the
+// session's sampling grid. Columns cover the bucket range any rank
+// touched; untouched cells are zero. Returns nil when the session
+// recorded no samples of g (or sampling was off).
+func (s *RunSession) GaugeHeatmap(g Gauge) *Heatmap {
+	lo, hi := int64(0), int64(-1)
+	for _, rk := range s.Ranks {
+		pts := rk.Gauges[g]
+		if len(pts) == 0 {
+			continue
+		}
+		if hi < lo || pts[0].Bucket < lo {
+			lo = pts[0].Bucket
+		}
+		if pts[len(pts)-1].Bucket > hi {
+			hi = pts[len(pts)-1].Bucket
+		}
+	}
+	if hi < lo {
+		return nil
+	}
+	h := &Heatmap{
+		Title: fmt.Sprintf("rank x time: %s (bucket %.0f ns)", g, s.BucketNs),
+		Unit:  g.String(),
+	}
+	for b := lo; b <= hi; b++ {
+		h.Cols = append(h.Cols, fmt.Sprintf("%.0f", float64(b)*s.BucketNs))
+	}
+	for _, rk := range s.Ranks {
+		row := make([]float64, hi-lo+1)
+		for _, pt := range rk.Gauges[g] {
+			row[pt.Bucket-lo] = pt.V
+		}
+		h.Rows = append(h.Rows, rankLabel(rk))
+		h.Cells = append(h.Cells, row)
+		for _, v := range row {
+			if v > h.Max {
+				h.Max = v
+			}
+		}
+	}
+	return h
+}
+
+// Coarsen folds the heatmap's columns into at most maxCols groups by
+// summing adjacent cells (mean for instantaneous quantities is not
+// needed: callers render volumes and durations). It returns the
+// receiver when already narrow enough.
+func (h *Heatmap) Coarsen(maxCols int) *Heatmap {
+	n := len(h.Cols)
+	if maxCols <= 0 || n <= maxCols {
+		return h
+	}
+	// group size: ceil(n / maxCols)
+	gsz := (n + maxCols - 1) / maxCols
+	out := &Heatmap{Title: h.Title, Unit: h.Unit, Rows: h.Rows}
+	for i := 0; i < n; i += gsz {
+		out.Cols = append(out.Cols, h.Cols[i])
+	}
+	for _, row := range h.Cells {
+		nrow := make([]float64, len(out.Cols))
+		for i, v := range row {
+			nrow[i/gsz] += v
+		}
+		out.Cells = append(out.Cells, nrow)
+		for _, v := range nrow {
+			if v > out.Max {
+				out.Max = v
+			}
+		}
+	}
+	return out
+}

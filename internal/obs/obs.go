@@ -204,6 +204,11 @@ type Session struct {
 	// marks are the segment boundaries Advance recorded (end of setup,
 	// end of each root), for grouping spans by BFS iteration.
 	marks []float64
+	// sampler, when non-nil, turns on the virtual-time gauge grid
+	// (internal/obs/sample.go); linkPeak is the attaching world's
+	// per-stream inter-node peak bandwidth for utilization reporting.
+	sampler  *Sampler
+	linkPeak float64
 }
 
 // AddRank appends a rank stream with its placement coordinates and
@@ -256,8 +261,9 @@ type Rank struct {
 	Node   int
 	Socket int
 
-	spans []Span
-	comm  Comm
+	spans   []Span
+	comm    Comm
+	samples [NumGauges][]gaugeSample
 }
 
 // Spans returns the rank's recorded spans in record order.

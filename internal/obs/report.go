@@ -264,8 +264,22 @@ func attributeLevels(s *Session, sr *SessionReport, instances map[[2]int]*levelI
 		rankVotes  map[int]int
 		phaseVotes map[string]float64
 	}
+	// Fold in sorted (segment, level) order: map iteration order would
+	// vary the float accumulation below (and which instance names the
+	// row) run to run, breaking byte-identical reports.
+	keys := make([][2]int, 0, len(instances))
+	for key := range instances {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
 	byLevel := make(map[int]*agg)
-	for key, li := range instances {
+	for _, key := range keys {
+		li := instances[key]
 		level := key[1]
 		a := byLevel[level]
 		if a == nil {

@@ -98,6 +98,12 @@ func (n *Network) InterNodeBandwidthAt(at float64, srcNode, dstNode, streams int
 	return bw
 }
 
+// PeakStreamBandwidth returns the undegraded inter-node bandwidth
+// (bytes/ns) a single rank's stream can drive — the normalization
+// constant the observability layer's link-utilization view divides
+// per-bucket wire volume by.
+func (n *Network) PeakStreamBandwidth() float64 { return n.cfg.StreamBandwidth(1) }
+
 // IntraNodeBandwidth returns the per-stream shared-memory copy bandwidth
 // when `streams` rank pairs of the node copy concurrently. The copies all
 // run through the node's memory system, so they share it.

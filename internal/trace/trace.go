@@ -56,6 +56,29 @@ func (p Phase) String() string {
 	}
 }
 
+// PhaseNames returns every phase's name in enum order — the canonical
+// column order for exporters that key rows by phase name. The slice is
+// freshly allocated; callers may keep it.
+func PhaseNames() []string {
+	names := make([]string, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		names[p] = p.String()
+	}
+	return names
+}
+
+// PhaseByName resolves a phase name produced by Phase.String; ok is
+// false for anything else. Exporters use it to fold span streams keyed
+// by name back onto the enum without a quadratic name scan.
+func PhaseByName(name string) (Phase, bool) {
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // LevelStat records one BFS level as observed by a rank: which
 // procedure ran it, the global frontier it produced, and the rank's time
 // in it. The sequence of LevelStats is the frontier growth curve that

@@ -74,6 +74,25 @@ func TestPhaseStrings(t *testing.T) {
 	}
 }
 
+func TestPhaseNamesRoundTrip(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != int(NumPhases) {
+		t.Fatalf("PhaseNames() has %d entries, want %d", len(names), NumPhases)
+	}
+	for i, name := range names {
+		if name != Phase(i).String() {
+			t.Errorf("names[%d] = %q, want %q", i, name, Phase(i))
+		}
+		p, ok := PhaseByName(name)
+		if !ok || p != Phase(i) {
+			t.Errorf("PhaseByName(%q) = %v, %v", name, p, ok)
+		}
+	}
+	if _, ok := PhaseByName("not-a-phase"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
 func TestBreakdownMarshalJSON(t *testing.T) {
 	var b Breakdown
 	b.Add(TDComp, 10)
