@@ -5,8 +5,9 @@
 // Usage:
 //
 //	bfsbench -fig 9 -scale 16 -roots 8
-//	bfsbench -fig all -scale 14 -roots 2
+//	bfsbench -fig all -scale 14 -roots 2 -parallel 8
 //	bfsbench -fig 11 -trace out.json -metrics
+//	bfsbench -fig 10 -cpuprofile cpu.pprof -cell-ledger -
 //	bfsbench -fig table1
 package main
 
@@ -16,7 +17,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"numabfs/internal/experiments"
@@ -96,7 +99,7 @@ func driverFor(key string) *driver {
 // 1e-9 relative tolerance. A value drift is a simulation regression and
 // fails the check; host wall-clock drift is only reported — it varies
 // with the machine. Returns the number of drifted experiments.
-func benchCheck(path string, want []string, weak bool) (int, error) {
+func benchCheck(path string, want []string, weak bool, parallel int, ledger *experiments.Ledger, hostBudget float64) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
@@ -106,7 +109,7 @@ func benchCheck(path string, want []string, weak bool) (int, error) {
 		return 0, fmt.Errorf("%s: %w", path, err)
 	}
 	spec := experiments.Spec{BaseScale: bf.Scale, Roots: bf.Roots, WeakNode: weak,
-		Cache: graph500.NewGraphCache()}
+		Cache: graph500.NewGraphCache(), Parallel: parallel, Ledger: ledger}
 	match := func(key string) bool {
 		for _, w := range want {
 			if w == "all" || w == key {
@@ -117,6 +120,7 @@ func benchCheck(path string, want []string, weak bool) (int, error) {
 	}
 	drifted := 0
 	checked := 0
+	var hostTotal, baseTotal int64
 	for _, rec := range bf.Records {
 		if !match(rec.Fig) {
 			continue
@@ -133,6 +137,8 @@ func benchCheck(path string, want []string, weak bool) (int, error) {
 		}
 		host := time.Since(start)
 		checked++
+		hostTotal += host.Nanoseconds()
+		baseTotal += rec.HostNs
 		if diff := tableDiff(rec.Table, got); diff != "" {
 			drifted++
 			fmt.Printf("FAIL fig %-14s %s\n", rec.Fig, diff)
@@ -144,6 +150,14 @@ func benchCheck(path string, want []string, weak bool) (int, error) {
 	}
 	if checked == 0 {
 		return 0, fmt.Errorf("no baseline experiment matched -fig %s", strings.Join(want, ","))
+	}
+	if hostBudget > 0 {
+		ratio := float64(hostTotal) / float64(baseTotal)
+		fmt.Printf("host budget: %.2fs vs baseline %.2fs (x%.2f, budget x%.2f)\n",
+			float64(hostTotal)/1e9, float64(baseTotal)/1e9, ratio, hostBudget)
+		if ratio > hostBudget {
+			return drifted, fmt.Errorf("host time x%.2f exceeds the x%.2f budget (harness wall-clock regression)", ratio, hostBudget)
+		}
 	}
 	return drifted, nil
 }
@@ -272,6 +286,11 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "time each selected experiment and write a regression baseline (BENCH_<date>.json) to this file")
 	faultFile := flag.String("fault", "", "apply a deterministic fault plan (JSON, see internal/fault.Plan) to every run")
 	benchCheckFile := flag.String("bench-check", "", "rerun the experiments in a -bench-json baseline at its recorded scale/roots and fail on any table-value drift")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "host-parallel cell width: how many benchmark cells run concurrently (1 = sequential; every width produces bit-identical tables and exports)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
+	cellLedger := flag.String("cell-ledger", "", `write the per-cell host wall-clock ledger to this file ("-" for stdout)`)
+	hostBudget := flag.Float64("host-budget", 0, "with -bench-check: fail if total host time exceeds this multiple of the baseline's (0 disables)")
 	flag.Parse()
 
 	want := strings.Split(*fig, ",")
@@ -301,9 +320,76 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	if *hostBudget != 0 && *benchCheckFile == "" {
+		fmt.Fprintln(os.Stderr, "bfsbench: -host-budget only applies with -bench-check (the budget is relative to the baseline's host times)")
+		os.Exit(2)
+	}
+	if *parallel < 1 {
+		fmt.Fprintln(os.Stderr, "bfsbench: -parallel must be at least 1")
+		os.Exit(2)
+	}
+
+	// Profiles stop/write exactly once, whether main falls off the end,
+	// returns from the bench-check path, or exits on a failed check.
+	var profOnce sync.Once
+	stopProfiles := func() {
+		profOnce.Do(func() {
+			if *cpuProfile != "" {
+				pprof.StopCPUProfile()
+				fmt.Fprintf(os.Stderr, "bfsbench: wrote CPU profile to %s\n", *cpuProfile)
+			}
+			if *memProfile != "" {
+				f, err := os.Create(*memProfile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bfsbench: memprofile: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "bfsbench: memprofile: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "bfsbench: wrote heap profile to %s\n", *memProfile)
+			}
+		})
+	}
+	defer stopProfiles()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var ledger *experiments.Ledger
+	if *cellLedger != "" {
+		ledger = experiments.NewLedger()
+	}
+	writeLedger := func() {
+		if ledger == nil {
+			return
+		}
+		if *cellLedger == "-" {
+			fmt.Print(ledger.String())
+			return
+		}
+		if err := os.WriteFile(*cellLedger, []byte(ledger.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: cell-ledger: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bfsbench: wrote cell ledger to %s\n", *cellLedger)
+	}
 
 	if *benchCheckFile != "" {
-		drifted, err := benchCheck(*benchCheckFile, want, *weak)
+		drifted, err := benchCheck(*benchCheckFile, want, *weak, *parallel, ledger, *hostBudget)
+		writeLedger()
+		stopProfiles()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfsbench: bench-check: %v\n", err)
 			os.Exit(1)
@@ -321,6 +407,8 @@ func main() {
 		Validate:  *validate,
 		WeakNode:  *weak,
 		Cache:     graph500.NewGraphCache(),
+		Parallel:  *parallel,
+		Ledger:    ledger,
 	}
 	if *traceOut != "" || *metrics || *metricsOut != "" ||
 		*timelineOut != "" || *htmlOut != "" || *promOut != "" {
@@ -375,6 +463,7 @@ func main() {
 			records = append(records, benchRecord{Fig: d.key, HostNs: time.Since(start).Nanoseconds(), Table: t})
 		}
 	}
+	writeLedger()
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")
 		if err != nil {

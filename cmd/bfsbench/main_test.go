@@ -176,7 +176,7 @@ func TestBenchCheckRoundTrip(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	drifted, err := benchCheck(path, []string{"all"}, false)
+	drifted, err := benchCheck(path, []string{"all"}, false, 4, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,12 +184,27 @@ func TestBenchCheckRoundTrip(t *testing.T) {
 		t.Fatalf("self-check drifted %d experiment(s)", drifted)
 	}
 
+	// The baseline's 1ns host time makes any rerun blow a x1.5 budget:
+	// the budget path must fail even though every value matches.
+	if _, err := benchCheck(path, []string{"all"}, false, 4, nil, 1.5); err == nil {
+		t.Fatal("blown host budget not flagged")
+	}
+
+	// The check must honor the parallel width and still ledger its cells.
+	led := experiments.NewLedger()
+	if _, err := benchCheck(path, []string{"all"}, false, 8, led, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(led.Cells()) == 0 {
+		t.Fatal("bench-check recorded no ledger cells")
+	}
+
 	bf.Records[0].Table.Rows[0].Values[0] *= 1.01
 	data, _ = json.Marshal(bf)
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	drifted, err = benchCheck(path, []string{"10"}, false)
+	drifted, err = benchCheck(path, []string{"10"}, false, 4, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,20 +41,35 @@ func allgatherAblation(s Spec) (*Table, error) {
 		{"Bruck", (*collective.Group).AllgatherBruck},
 		{"library default", (*collective.Group).Allgather},
 	}
-	for _, a := range algos {
-		row := make([]float64, 0, 2)
-		for _, words := range []int64{inqWords, sumWords} {
-			pl := machine.PlacementFor(cfg, machine.PPN8Bind)
-			w := mpi.NewWorld(cfg, pl)
-			g := collective.WorldGroup(w)
-			l := collective.EvenLayout(words, g.Size())
-			w.Run(func(p *mpi.Proc) {
-				buf := make([]uint64, words)
-				a.fn(g, p, buf, l)
+	sizes := []int64{inqWords, sumWords}
+	us := make([]float64, len(algos)*len(sizes))
+	var cells []cell
+	for ai, a := range algos {
+		for wi, words := range sizes {
+			slot := ai*len(sizes) + wi
+			a, words := a, words
+			cells = append(cells, cell{
+				label: fmt.Sprintf("%s/%dw", a.label, words),
+				run: func(cs Spec) error {
+					pl := machine.PlacementFor(cfg, machine.PPN8Bind)
+					w := mpi.NewWorld(cfg, pl)
+					g := collective.WorldGroup(w)
+					l := collective.EvenLayout(words, g.Size())
+					w.Run(func(p *mpi.Proc) {
+						buf := make([]uint64, words)
+						a.fn(g, p, buf, l)
+					})
+					us[slot] = w.MaxClock() / 1e3
+					return nil
+				},
 			})
-			row = append(row, w.MaxClock()/1e3)
 		}
-		t.AddRow(a.label, row...)
+	}
+	if err := s.runCells("abl-allgather", cells); err != nil {
+		return nil, err
+	}
+	for ai, a := range algos {
+		t.AddRow(a.label, us[ai*len(sizes):(ai+1)*len(sizes)]...)
 	}
 	t.Notes = append(t.Notes,
 		"Thakur-Gropp: recursive doubling wins short payloads, ring the long ones; the library default switches at the threshold")

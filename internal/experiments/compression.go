@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"numabfs/internal/bfs"
+	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
 	"numabfs/internal/stats"
 	"numabfs/internal/wire"
@@ -57,18 +58,19 @@ func ExtCompression(s Spec) (*Table, error) {
 		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes", "16 nodes"},
 	}
 
+	variants := compressedVariants()
+	results, err := s.collect("compression", sweepCells("ext compression", variants, nodesSweep))
+	if err != nil {
+		return nil, err
+	}
+
 	var parComm, compComm []float64
 	var wireMB, rawMB []float64
 	var dense, sparse, rle []float64
-	for _, v := range compressedVariants() {
-		opts := bfs.DefaultOptions()
-		opts.Opt = v.opt
+	for i, v := range variants {
 		teps := make([]float64, 0, len(nodesSweep))
-		for _, nodes := range nodesSweep {
-			res, err := s.run(nodes, v.policy, opts)
-			if err != nil {
-				return nil, fmt.Errorf("ext compression %s %d nodes: %w", v.label, nodes, err)
-			}
+		for j := range nodesSweep {
+			res := results[i*len(nodesSweep)+j]
 			teps = append(teps, res.HarmonicTEPS)
 			switch v.opt {
 			case bfs.OptParAllgather:
@@ -126,14 +128,25 @@ func AblationCompression(s Spec) (*Table, error) {
 		{"threshold d<0.02", func(o *bfs.Options) { o.WireSparseDensity = 0.02 }},
 		{"threshold d<0.1", func(o *bfs.Options) { o.WireSparseDensity = 0.1 }},
 	}
-	for _, c := range cfgs {
-		opts := bfs.DefaultOptions()
-		opts.Opt = bfs.OptCompressedAllgather
-		c.mod(&opts)
-		res, err := s.run(nodes, machine.PPN8Bind, opts)
-		if err != nil {
-			return nil, fmt.Errorf("ablation compression %s: %w", c.label, err)
-		}
+	cells := make([]cellRun, len(cfgs))
+	for i, c := range cfgs {
+		cells[i] = cellRun{label: c.label, run: func(cs Spec) (*graph500.Result, error) {
+			opts := bfs.DefaultOptions()
+			opts.Opt = bfs.OptCompressedAllgather
+			c.mod(&opts)
+			res, err := cs.run(nodes, machine.PPN8Bind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ablation compression %s: %w", c.label, err)
+			}
+			return res, nil
+		}}
+	}
+	results, err := s.collect("abl-compression", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cfgs {
+		res := results[i]
 		cs := commStatsOf(res.PerRoot)
 		t.AddRow(c.label, res.HarmonicTEPS, cs.wireMB, cs.rawMB, res.Breakdown.AvgBUCommNs()/1e6)
 	}

@@ -57,6 +57,17 @@ type Spec struct {
 	// or fault plan rebuild the identical R-MAT graph, so kernel 1 runs
 	// once per (scale, ranks) and later cells reuse it bit-identically.
 	Cache *graph500.GraphCache
+	// Parallel is the host-parallel width of the cell runner: how many
+	// benchmark cells (variant × node-count × policy) run concurrently on
+	// host cores. 0 or 1 is sequential. Any width produces bit-identical
+	// tables, bench records and obs exports — cells are independent
+	// simulations and the runner commits their effects in submission
+	// order — so Parallel trades host wall-clock only.
+	Parallel int
+	// Ledger, when non-nil, receives one host wall-clock entry per cell
+	// the drivers run (the bfsbench -cell-ledger output and the CI
+	// host-budget gate's input).
+	Ledger *Ledger
 }
 
 // Quick returns a spec small enough for unit tests.

@@ -5,6 +5,7 @@ import (
 
 	"numabfs/internal/bfs"
 	"numabfs/internal/bfs2d"
+	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
 	"numabfs/internal/rmat"
 	"numabfs/internal/stats"
@@ -26,81 +27,95 @@ func Ext2D(s Spec) (*Table, error) {
 		Columns: []string{"2 nodes", "4 nodes", "8 nodes"},
 	}
 
-	type series struct {
-		label string
-		teps  []float64
-		comm  []float64
-	}
-	run1D := func(mode bfs.Mode) (series, error) {
-		var sr series
-		for _, nodes := range nodesSweep {
-			scale := s.scaleFor(nodes)
-			opts := bfs.DefaultOptions()
-			opts.Mode = mode
-			r, err := bfs.NewRunner(s.clusterConfig(nodes), machine.PPN8Bind, rmat.Graph500(scale), opts)
-			if err != nil {
-				return sr, err
-			}
-			if s.Obs != nil {
-				r.AttachObs(s.Obs.NewSession(fmt.Sprintf("ext2d 1-D %s nodes=%d", mode, nodes)))
-			}
-			r.Setup()
-			roots := r.Params.Roots(s.Roots, r.HasEdgeGlobal)
-			var teps, comm []float64
-			for _, root := range roots {
-				res := r.RunRoot(root)
-				teps = append(teps, res.TEPS)
-				comm = append(comm, float64(res.CommBytes))
-			}
-			sr.teps = append(sr.teps, stats.HarmonicMean(teps))
-			sr.comm = append(sr.comm, stats.Mean(comm)/(1<<20))
+	type point struct{ teps, comm float64 }
+	// Slots: series-major — 1-D top-down, 1-D hybrid, 2-D — matching the
+	// sequential schedule.
+	points := make([]point, 3*len(nodesSweep))
+	var cells []cell
+	for si, mode := range []bfs.Mode{bfs.ModeTopDown, bfs.ModeHybrid} {
+		for ni, nodes := range nodesSweep {
+			slot := si*len(nodesSweep) + ni
+			mode, nodes := mode, nodes
+			cells = append(cells, cell{
+				label: fmt.Sprintf("1-D %s/%dn", mode, nodes),
+				run: func(cs Spec) error {
+					scale := cs.scaleFor(nodes)
+					opts := bfs.DefaultOptions()
+					opts.Mode = mode
+					r, err := bfs.NewRunner(cs.clusterConfig(nodes), machine.PPN8Bind, rmat.Graph500(scale), opts)
+					if err != nil {
+						return fmt.Errorf("ext2d 1-D %s: %w", mode, err)
+					}
+					if cs.Obs != nil {
+						r.AttachObs(cs.Obs.NewSession(fmt.Sprintf("ext2d 1-D %s nodes=%d", mode, nodes)))
+					}
+					r.Setup()
+					roots := r.Params.Roots(cs.Roots, r.HasEdgeGlobal)
+					var teps, comm []float64
+					for _, root := range roots {
+						res := r.RunRoot(root)
+						teps = append(teps, res.TEPS)
+						comm = append(comm, float64(res.CommBytes))
+					}
+					points[slot] = point{stats.HarmonicMean(teps), stats.Mean(comm) / (1 << 20)}
+					return nil
+				},
+			})
 		}
-		return sr, nil
+	}
+	for ni, nodes := range nodesSweep {
+		slot := 2*len(nodesSweep) + ni
+		nodes := nodes
+		cells = append(cells, cell{
+			label: fmt.Sprintf("2-D/%dn", nodes),
+			run: func(cs Spec) error {
+				scale := cs.scaleFor(nodes)
+				cfg := cs.clusterConfig(nodes)
+				grid := bfs2d.DefaultGrid(nodes * cfg.SocketsPerNode)
+				r, err := bfs2d.NewRunner(cfg, machine.PPN8Bind, grid, rmat.Graph500(scale))
+				if err != nil {
+					return fmt.Errorf("ext2d 2-D: %w", err)
+				}
+				if cs.Obs != nil {
+					r.AttachObs(cs.Obs.NewSession(fmt.Sprintf("ext2d 2-D %dx%d nodes=%d", grid.R, grid.C, nodes)))
+				}
+				r.Setup()
+				roots := r.Params.Roots(cs.Roots, r.HasEdgeGlobal)
+				var teps, comm []float64
+				for _, root := range roots {
+					res := r.RunRoot(root)
+					teps = append(teps, res.TEPS)
+					comm = append(comm, float64(res.CommBytes))
+				}
+				points[slot] = point{stats.HarmonicMean(teps), stats.Mean(comm) / (1 << 20)}
+				return nil
+			},
+		})
+	}
+	if err := s.runCells("2d", cells); err != nil {
+		return nil, err
 	}
 
-	td, err := run1D(bfs.ModeTopDown)
-	if err != nil {
-		return nil, fmt.Errorf("ext2d 1-D top-down: %w", err)
-	}
-	hy, err := run1D(bfs.ModeHybrid)
-	if err != nil {
-		return nil, fmt.Errorf("ext2d 1-D hybrid: %w", err)
-	}
-
-	var d2 series
-	for _, nodes := range nodesSweep {
-		scale := s.scaleFor(nodes)
-		cfg := s.clusterConfig(nodes)
-		grid := bfs2d.DefaultGrid(nodes * cfg.SocketsPerNode)
-		r, err := bfs2d.NewRunner(cfg, machine.PPN8Bind, grid, rmat.Graph500(scale))
-		if err != nil {
-			return nil, fmt.Errorf("ext2d 2-D: %w", err)
+	row := func(series int, f func(point) float64) []float64 {
+		vals := make([]float64, len(nodesSweep))
+		for i := range nodesSweep {
+			vals[i] = f(points[series*len(nodesSweep)+i])
 		}
-		if s.Obs != nil {
-			r.AttachObs(s.Obs.NewSession(fmt.Sprintf("ext2d 2-D %dx%d nodes=%d", grid.R, grid.C, nodes)))
-		}
-		r.Setup()
-		roots := r.Params.Roots(s.Roots, r.HasEdgeGlobal)
-		var teps, comm []float64
-		for _, root := range roots {
-			res := r.RunRoot(root)
-			teps = append(teps, res.TEPS)
-			comm = append(comm, float64(res.CommBytes))
-		}
-		d2.teps = append(d2.teps, stats.HarmonicMean(teps))
-		d2.comm = append(d2.comm, stats.Mean(comm)/(1<<20))
+		return vals
 	}
-
-	t.AddRow("1-D top-down TEPS", td.teps...)
-	t.AddRow("2-D top-down TEPS", d2.teps...)
-	t.AddRow("1-D hybrid TEPS", hy.teps...)
-	t.AddRow("1-D top-down comm MB", td.comm...)
-	t.AddRow("2-D top-down comm MB", d2.comm...)
-	t.AddRow("1-D hybrid comm MB", hy.comm...)
+	td, hy, d2 := 0, 1, 2
+	t.AddRow("1-D top-down TEPS", row(td, func(p point) float64 { return p.teps })...)
+	t.AddRow("2-D top-down TEPS", row(d2, func(p point) float64 { return p.teps })...)
+	t.AddRow("1-D hybrid TEPS", row(hy, func(p point) float64 { return p.teps })...)
+	t.AddRow("1-D top-down comm MB", row(td, func(p point) float64 { return p.comm })...)
+	t.AddRow("2-D top-down comm MB", row(d2, func(p point) float64 { return p.comm })...)
+	t.AddRow("1-D hybrid comm MB", row(hy, func(p point) float64 { return p.comm })...)
 	ratio := make([]float64, len(nodesSweep))
 	for i := range ratio {
-		if d2.comm[i] > 0 {
-			ratio[i] = td.comm[i] / d2.comm[i]
+		tdComm := points[td*len(nodesSweep)+i].comm
+		d2Comm := points[d2*len(nodesSweep)+i].comm
+		if d2Comm > 0 {
+			ratio[i] = tdComm / d2Comm
 		}
 	}
 	t.AddRow("top-down comm reduction (1D/2D)", ratio...)
@@ -133,24 +148,40 @@ func AblationHybrid(s Spec) (*Table, error) {
 		Title:   fmt.Sprintf("Hybrid switch ablation (%d nodes, scale %d)", nodes, scale),
 		Columns: []string{"TEPS", "td levels", "bu levels"},
 	}
+	var cells []cellRun
+	var labels []string
 	for _, mode := range []bfs.Mode{bfs.ModeTopDown, bfs.ModeBottomUp} {
-		opts := bfs.DefaultOptions()
-		opts.Mode = mode
-		res, err := s.run(nodes, machine.PPN8Bind, opts)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", mode, err)
-		}
-		t.AddRow(fmt.Sprintf("pure %s", mode), res.HarmonicTEPS,
-			float64(res.Breakdown.TDLevels), float64(res.Breakdown.BULevels))
+		mode := mode
+		labels = append(labels, fmt.Sprintf("pure %s", mode))
+		cells = append(cells, cellRun{label: fmt.Sprintf("pure %s", mode), run: func(cs Spec) (*graph500.Result, error) {
+			opts := bfs.DefaultOptions()
+			opts.Mode = mode
+			res, err := cs.run(nodes, machine.PPN8Bind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s: %w", mode, err)
+			}
+			return res, nil
+		}})
 	}
 	for _, alpha := range []float64{2, 14, 30, 100} {
-		opts := bfs.DefaultOptions()
-		opts.Alpha = alpha
-		res, err := s.run(nodes, machine.PPN8Bind, opts)
-		if err != nil {
-			return nil, fmt.Errorf("ablation alpha=%g: %w", alpha, err)
-		}
-		t.AddRow(fmt.Sprintf("hybrid alpha=%g", alpha), res.HarmonicTEPS,
+		alpha := alpha
+		labels = append(labels, fmt.Sprintf("hybrid alpha=%g", alpha))
+		cells = append(cells, cellRun{label: fmt.Sprintf("alpha=%g", alpha), run: func(cs Spec) (*graph500.Result, error) {
+			opts := bfs.DefaultOptions()
+			opts.Alpha = alpha
+			res, err := cs.run(nodes, machine.PPN8Bind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ablation alpha=%g: %w", alpha, err)
+			}
+			return res, nil
+		}})
+	}
+	results, err := s.collect("abl-hybrid", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		t.AddRow(labels[i], res.HarmonicTEPS,
 			float64(res.Breakdown.TDLevels), float64(res.Breakdown.BULevels))
 	}
 	t.Notes = append(t.Notes, "the hybrid beats both pure modes across the alpha range (Sec. II.A)")

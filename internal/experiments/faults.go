@@ -48,31 +48,45 @@ func ExtFaults(s Spec) (*Table, error) {
 		},
 	}
 
-	var base *graph500.Result // undegraded hybrid run for the crash row
-	for _, v := range faultVariants() {
-		opts := bfs.DefaultOptions()
-		opts.Opt = v.opt
-		var baseline float64
-		retained := make([]float64, 0, len(factors))
+	variants := faultVariants()
+	var cells []cellRun
+	for _, v := range variants {
 		for _, f := range factors {
-			fs := s
-			if f != 1 {
-				plan := fault.WeakNode(slowNode, f)
-				fs.Faults = &plan
-			} else {
-				fs.Faults = nil
-			}
-			res, err := fs.run(nodes, v.policy, opts)
-			if err != nil {
-				return nil, fmt.Errorf("ext faults %s factor %g: %w", v.label, f, err)
-			}
-			if f == 1 {
-				baseline = res.HarmonicTEPS
-				if v.opt == bfs.OptParAllgather {
-					base = res
-				}
-			}
-			retained = append(retained, res.HarmonicTEPS/baseline)
+			v, f := v, f
+			cells = append(cells, cellRun{
+				label: fmt.Sprintf("%s/x%g", v.label, f),
+				run: func(cs Spec) (*graph500.Result, error) {
+					opts := bfs.DefaultOptions()
+					opts.Opt = v.opt
+					if f != 1 {
+						plan := fault.WeakNode(slowNode, f)
+						cs.Faults = &plan
+					} else {
+						cs.Faults = nil
+					}
+					res, err := cs.run(nodes, v.policy, opts)
+					if err != nil {
+						return nil, fmt.Errorf("ext faults %s factor %g: %w", v.label, f, err)
+					}
+					return res, nil
+				},
+			})
+		}
+	}
+	results, err := s.collect("faults", cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var base *graph500.Result // undegraded hybrid run for the crash row
+	for i, v := range variants {
+		baseline := results[i*len(factors)].HarmonicTEPS
+		if v.opt == bfs.OptParAllgather {
+			base = results[i*len(factors)]
+		}
+		retained := make([]float64, 0, len(factors))
+		for j := range factors {
+			retained = append(retained, results[i*len(factors)+j].HarmonicTEPS/baseline)
 		}
 		t.AddRow(v.label, retained...)
 	}
@@ -80,16 +94,23 @@ func ExtFaults(s Spec) (*Table, error) {
 	// Crash-recovery demonstration: kill rank 0 halfway through the
 	// mean iteration of the undegraded parallel-allgather run. The
 	// crash time is derived from modelled (virtual) time, so the row is
-	// as deterministic as every other.
-	crashOpts := bfs.DefaultOptions()
-	crashOpts.Opt = bfs.OptParAllgather
+	// as deterministic as every other. Its plan depends on the sweep's
+	// baseline result, so it is a second (single-cell) batch.
 	plan := fault.Plan{Crashes: []fault.Crash{{Rank: 0, AtNs: 0.5 * base.MeanTimeNs}}}
-	fs := s
-	fs.Faults = &plan
-	res, err := fs.run(nodes, machine.PPN8Bind, crashOpts)
+	crash, err := s.collect("faults", []cellRun{{label: "crash", run: func(cs Spec) (*graph500.Result, error) {
+		crashOpts := bfs.DefaultOptions()
+		crashOpts.Opt = bfs.OptParAllgather
+		cs.Faults = &plan
+		res, err := cs.run(nodes, machine.PPN8Bind, crashOpts)
+		if err != nil {
+			return nil, fmt.Errorf("ext faults crash row: %w", err)
+		}
+		return res, nil
+	}}})
 	if err != nil {
-		return nil, fmt.Errorf("ext faults crash row: %w", err)
+		return nil, err
 	}
+	res := crash[0]
 	if res.Faults == 0 {
 		return nil, fmt.Errorf("ext faults: scheduled crash at %.0f ns never fired", plan.Crashes[0].AtNs)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"numabfs/internal/bfs"
+	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
 	"numabfs/internal/trace"
 )
@@ -40,40 +41,57 @@ func Fig9(s Spec) (*Table, error) {
 		Title:   fmt.Sprintf("Overview of all optimizations (%d nodes, scale %d)", nodes, s.scaleFor(nodes)),
 		Columns: []string{"TEPS", "vs ppn=1", "vs previous"},
 	}
+
+	variants := ppn8Variants()
+	cells := []cellRun{{label: "Original.ppn=1", run: func(cs Spec) (*graph500.Result, error) {
+		res, err := cs.run(nodes, machine.PPN1Interleave, bfs.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("fig9 ppn=1: %w", err)
+		}
+		return res, nil
+	}}}
+	for _, v := range variants {
+		cells = append(cells, cellRun{label: v.label, run: func(cs Spec) (*graph500.Result, error) {
+			opts := bfs.DefaultOptions()
+			opts.Opt = v.opt
+			res, err := cs.run(nodes, v.policy, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s: %w", v.label, err)
+			}
+			return res, nil
+		}})
+	}
+	// "+ Granularity": best of the sweep on top of Par allgather.
+	for _, g := range Fig9Granularities {
+		cells = append(cells, cellRun{label: fmt.Sprintf("g=%d", g), run: func(cs Spec) (*graph500.Result, error) {
+			opts := bfs.DefaultOptions()
+			opts.Opt = bfs.OptParAllgather
+			opts.Granularity = g
+			res, err := cs.run(nodes, machine.PPN8Bind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 granularity %d: %w", g, err)
+			}
+			return res, nil
+		}})
+	}
+	results, err := s.collect("9", cells)
+	if err != nil {
+		return nil, err
+	}
+
 	var teps []float64
 	var labels []string
-
-	base, err := s.run(nodes, machine.PPN1Interleave, bfs.DefaultOptions())
-	if err != nil {
-		return nil, fmt.Errorf("fig9 ppn=1: %w", err)
-	}
-	teps = append(teps, base.HarmonicTEPS)
+	teps = append(teps, results[0].HarmonicTEPS)
 	labels = append(labels, "Original.ppn=1")
-
-	for _, v := range ppn8Variants() {
-		opts := bfs.DefaultOptions()
-		opts.Opt = v.opt
-		res, err := s.run(nodes, v.policy, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", v.label, err)
-		}
-		teps = append(teps, res.HarmonicTEPS)
+	for i, v := range variants {
+		teps = append(teps, results[1+i].HarmonicTEPS)
 		labels = append(labels, v.label)
 	}
-
-	// "+ Granularity": best of the sweep on top of Par allgather.
 	best := 0.0
 	bestG := int64(0)
-	for _, g := range Fig9Granularities {
-		opts := bfs.DefaultOptions()
-		opts.Opt = bfs.OptParAllgather
-		opts.Granularity = g
-		res, err := s.run(nodes, machine.PPN8Bind, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 granularity %d: %w", g, err)
-		}
-		if res.HarmonicTEPS > best {
-			best, bestG = res.HarmonicTEPS, g
+	for i, g := range Fig9Granularities {
+		if r := results[1+len(variants)+i]; r.HarmonicTEPS > best {
+			best, bestG = r.HarmonicTEPS, g
 		}
 	}
 	teps = append(teps, best)
@@ -104,16 +122,32 @@ func Fig12(s Spec) (*Table, error) {
 		Title:   "Bottom-up communication cost, weak scaling (Original)",
 		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes"},
 	}
-	var ppn1, ppn8, prop []float64
+	var cells []cellRun
 	for _, nodes := range nodesSweep {
-		r1, err := s.run(nodes, machine.PPN1Interleave, bfs.DefaultOptions())
-		if err != nil {
-			return nil, fmt.Errorf("fig12 ppn1 %d nodes: %w", nodes, err)
-		}
-		r8, err := s.run(nodes, machine.PPN8Bind, bfs.DefaultOptions())
-		if err != nil {
-			return nil, fmt.Errorf("fig12 ppn8 %d nodes: %w", nodes, err)
-		}
+		nodes := nodes
+		cells = append(cells,
+			cellRun{label: fmt.Sprintf("ppn1/%dn", nodes), run: func(cs Spec) (*graph500.Result, error) {
+				res, err := cs.run(nodes, machine.PPN1Interleave, bfs.DefaultOptions())
+				if err != nil {
+					return nil, fmt.Errorf("fig12 ppn1 %d nodes: %w", nodes, err)
+				}
+				return res, nil
+			}},
+			cellRun{label: fmt.Sprintf("ppn8/%dn", nodes), run: func(cs Spec) (*graph500.Result, error) {
+				res, err := cs.run(nodes, machine.PPN8Bind, bfs.DefaultOptions())
+				if err != nil {
+					return nil, fmt.Errorf("fig12 ppn8 %d nodes: %w", nodes, err)
+				}
+				return res, nil
+			}})
+	}
+	results, err := s.collect("12", cells)
+	if err != nil {
+		return nil, err
+	}
+	var ppn1, ppn8, prop []float64
+	for i := range nodesSweep {
+		r1, r8 := results[2*i], results[2*i+1]
 		ppn1 = append(ppn1, r1.Breakdown.AvgBUCommNs()/1e6)
 		ppn8 = append(ppn8, r8.Breakdown.AvgBUCommNs()/1e6)
 		prop = append(prop, r8.Breakdown.Proportion(trace.BUComm))
@@ -124,6 +158,31 @@ func Fig12(s Spec) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"paper: ppn=8 comm = 2.34x ppn=1 at 8 nodes; proportion 12% -> 54%")
 	return t, nil
+}
+
+// sweepCells declares one cell per (variant, node count), in
+// variant-major order — the sequential schedule the weak-scaling
+// figures always ran. errPrefix names the calling driver in error wraps.
+func sweepCells(errPrefix string, variants []variant, nodesSweep []int) []cellRun {
+	var cells []cellRun
+	for _, v := range variants {
+		for _, nodes := range nodesSweep {
+			v, nodes := v, nodes
+			cells = append(cells, cellRun{
+				label: fmt.Sprintf("%s/%dn", v.label, nodes),
+				run: func(cs Spec) (*graph500.Result, error) {
+					opts := bfs.DefaultOptions()
+					opts.Opt = v.opt
+					res, err := cs.run(nodes, v.policy, opts)
+					if err != nil {
+						return nil, fmt.Errorf("%s %s %d nodes: %w", errPrefix, v.label, nodes, err)
+					}
+					return res, nil
+				},
+			})
+		}
+	}
+	return cells
 }
 
 // Fig13 reproduces the reduction of the average bottom-up communication
@@ -137,16 +196,15 @@ func Fig13(s Spec) (*Table, error) {
 		Title:   "Average bottom-up communication phase (ms), weak scaling",
 		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes", "16 nodes"},
 	}
-	for _, v := range ppn8Variants() {
-		opts := bfs.DefaultOptions()
-		opts.Opt = v.opt
+	variants := ppn8Variants()
+	results, err := s.collect("13", sweepCells("fig13", variants, nodesSweep))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
 		row := make([]float64, 0, len(nodesSweep))
-		for _, nodes := range nodesSweep {
-			res, err := s.run(nodes, v.policy, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s %d nodes: %w", v.label, nodes, err)
-			}
-			row = append(row, res.Breakdown.AvgBUCommNs()/1e6)
+		for j := range nodesSweep {
+			row = append(row, results[i*len(nodesSweep)+j].Breakdown.AvgBUCommNs()/1e6)
 		}
 		t.AddRow(v.label, row...)
 	}
@@ -164,16 +222,15 @@ func Fig14(s Spec) (*Table, error) {
 		Title:   "Bottom-up communication proportion of total time",
 		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes"},
 	}
-	for _, v := range ppn8Variants() {
-		opts := bfs.DefaultOptions()
-		opts.Opt = v.opt
+	variants := ppn8Variants()
+	results, err := s.collect("14", sweepCells("fig14", variants, nodesSweep))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
 		row := make([]float64, 0, len(nodesSweep))
-		for _, nodes := range nodesSweep {
-			res, err := s.run(nodes, v.policy, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig14 %s %d nodes: %w", v.label, nodes, err)
-			}
-			row = append(row, res.Breakdown.Proportion(trace.BUComm))
+		for j := range nodesSweep {
+			row = append(row, results[i*len(nodesSweep)+j].Breakdown.Proportion(trace.BUComm))
 		}
 		t.AddRow(v.label, row...)
 	}
@@ -192,16 +249,14 @@ func Fig15(s Spec) (*Table, error) {
 		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes", "16 nodes"},
 	}
 	all := append([]variant{{"Original.ppn=1", machine.PPN1Interleave, bfs.OptOriginal}}, ppn8Variants()...)
-	for _, v := range all {
-		opts := bfs.DefaultOptions()
-		opts.Opt = v.opt
+	results, err := s.collect("15", sweepCells("fig15", all, nodesSweep))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range all {
 		row := make([]float64, 0, len(nodesSweep))
-		for _, nodes := range nodesSweep {
-			res, err := s.run(nodes, v.policy, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig15 %s %d nodes: %w", v.label, nodes, err)
-			}
-			row = append(row, res.HarmonicTEPS)
+		for j := range nodesSweep {
+			row = append(row, results[i*len(nodesSweep)+j].HarmonicTEPS)
 		}
 		t.AddRow(v.label, row...)
 	}
@@ -221,19 +276,29 @@ func Fig16(s Spec) (*Table, error) {
 		Title:   fmt.Sprintf("Summary bitmap granularity sweep (%d nodes, scale %d)", nodes, s.scaleFor(nodes)),
 		Columns: []string{"TEPS", "vs g=64"},
 	}
+	cells := make([]cellRun, len(Fig16Granularities))
+	for i, g := range Fig16Granularities {
+		cells[i] = cellRun{label: fmt.Sprintf("g=%d", g), run: func(cs Spec) (*graph500.Result, error) {
+			opts := bfs.DefaultOptions()
+			opts.Opt = bfs.OptParAllgather
+			opts.Granularity = g
+			res, err := cs.run(nodes, machine.PPN8Bind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig16 g=%d: %w", g, err)
+			}
+			return res, nil
+		}}
+	}
+	results, err := s.collect("16", cells)
+	if err != nil {
+		return nil, err
+	}
 	var base float64
-	for _, g := range Fig16Granularities {
-		opts := bfs.DefaultOptions()
-		opts.Opt = bfs.OptParAllgather
-		opts.Granularity = g
-		res, err := s.run(nodes, machine.PPN8Bind, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fig16 g=%d: %w", g, err)
-		}
+	for i, g := range Fig16Granularities {
 		if g == 64 {
-			base = res.HarmonicTEPS
+			base = results[i].HarmonicTEPS
 		}
-		t.AddRow(fmt.Sprintf("g=%d", g), res.HarmonicTEPS, res.HarmonicTEPS/base)
+		t.AddRow(fmt.Sprintf("g=%d", g), results[i].HarmonicTEPS, results[i].HarmonicTEPS/base)
 	}
 	t.Notes = append(t.Notes, "paper: peak at g=256, +10.2% over g=64")
 	return t, nil

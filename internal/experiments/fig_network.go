@@ -33,32 +33,46 @@ func Fig4(s Spec) (*Table, error) {
 	cfg.WeakNode = -1
 	pl := machine.PlacementFor(cfg, machine.PPN8Bind)
 
-	for _, ppn := range Fig4PPNs {
-		row := make([]float64, 0, len(Fig4Sizes))
-		for _, size := range Fig4Sizes {
-			const iters = 8
-			w := mpi.NewWorld(cfg, pl)
-			words := size / 8
-			buf := make([]uint64, words)
-			w.Run(func(p *mpi.Proc) {
-				// Ranks 0..ppn-1 of node 0 stream to their counterparts
-				// on node 1; the rest idle.
-				if p.LocalRank() >= ppn {
-					return
-				}
-				peer := p.Rank() + cfg.SocketsPerNode // same local rank, node 1
-				for it := 0; it < iters; it++ {
-					if p.Node() == 0 {
-						p.Send(peer, 9000+it, size, buf, ppn)
-					} else {
-						p.Recv(p.Rank()-cfg.SocketsPerNode, 9000+it)
-					}
-				}
+	bw := make([]float64, len(Fig4PPNs)*len(Fig4Sizes))
+	var cells []cell
+	for pi, ppn := range Fig4PPNs {
+		for si, size := range Fig4Sizes {
+			slot := pi*len(Fig4Sizes) + si
+			ppn, size := ppn, size
+			cells = append(cells, cell{
+				label: fmt.Sprintf("ppn=%d/%s", ppn, sizeLabel(size)),
+				run: func(cs Spec) error {
+					const iters = 8
+					w := mpi.NewWorld(cfg, pl)
+					words := size / 8
+					buf := make([]uint64, words)
+					w.Run(func(p *mpi.Proc) {
+						// Ranks 0..ppn-1 of node 0 stream to their counterparts
+						// on node 1; the rest idle.
+						if p.LocalRank() >= ppn {
+							return
+						}
+						peer := p.Rank() + cfg.SocketsPerNode // same local rank, node 1
+						for it := 0; it < iters; it++ {
+							if p.Node() == 0 {
+								p.Send(peer, 9000+it, size, buf, ppn)
+							} else {
+								p.Recv(p.Rank()-cfg.SocketsPerNode, 9000+it)
+							}
+						}
+					})
+					totalBytes := float64(size) * float64(iters) * float64(ppn)
+					bw[slot] = totalBytes / w.MaxClock() // bytes/ns == GB/s
+					return nil
+				},
 			})
-			totalBytes := float64(size) * float64(iters) * float64(ppn)
-			row = append(row, totalBytes/w.MaxClock()) // bytes/ns == GB/s
 		}
-		t.AddRow(fmt.Sprintf("ppn=%d", ppn), row...)
+	}
+	if err := s.runCells("4", cells); err != nil {
+		return nil, err
+	}
+	for pi, ppn := range Fig4PPNs {
+		t.AddRow(fmt.Sprintf("ppn=%d", ppn), bw[pi*len(Fig4Sizes):(pi+1)*len(Fig4Sizes)]...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: 8 ppn saturates the 2x IB ports; 1 ppn reaches about half the peak")
@@ -96,49 +110,64 @@ func Fig6(s Spec) (*Table, error) {
 	cfg.WeakNode = -1
 	pl := machine.PlacementFor(cfg, machine.PPN8Bind)
 
-	for _, size := range Fig6Sizes {
-		words := size / 8
-		// Default Open MPI allgather over all 128 ranks.
-		wDef := mpi.NewWorld(cfg, pl)
-		gDef := collective.WorldGroup(wDef)
-		lay := collective.EvenLayout(words, gDef.Size())
-		wDef.Run(func(p *mpi.Proc) {
-			buf := make([]uint64, words)
-			gDef.Allgather(p, buf, lay)
-		})
-		defNs := wDef.MaxClock()
+	type sizeResult struct {
+		defNs float64
+		mean  collective.StepTimes
+		ovNs  float64
+	}
+	results := make([]sizeResult, len(Fig6Sizes))
+	cells := make([]cell, len(Fig6Sizes))
+	for i, size := range Fig6Sizes {
+		i, size := i, size
+		cells[i] = cell{label: sizeLabel(size), run: func(cs Spec) error {
+			words := size / 8
+			// Default Open MPI allgather over all 128 ranks.
+			wDef := mpi.NewWorld(cfg, pl)
+			gDef := collective.WorldGroup(wDef)
+			lay := collective.EvenLayout(words, gDef.Size())
+			wDef.Run(func(p *mpi.Proc) {
+				buf := make([]uint64, words)
+				gDef.Allgather(p, buf, lay)
+			})
+			results[i].defNs = wDef.MaxClock()
 
-		// Leader-based allgather with per-step times.
-		wLdr := mpi.NewWorld(cfg, pl)
-		nc := collective.NewNodeComm(wLdr)
-		steps := make([]collective.StepTimes, wLdr.NumProcs())
-		wLdr.Run(func(p *mpi.Proc) {
-			buf := make([]uint64, words)
-			steps[p.Rank()] = nc.LeaderAllgather(p, buf, lay)
-		})
-		// Report the mean across ranks (children have zero inter time).
-		var mean collective.StepTimes
-		for _, st := range steps {
-			mean.GatherNs += st.GatherNs / float64(len(steps))
-			mean.InterNs += st.InterNs / float64(len(steps))
-			mean.BcastNs += st.BcastNs / float64(len(steps))
-		}
+			// Leader-based allgather with per-step times.
+			wLdr := mpi.NewWorld(cfg, pl)
+			nc := collective.NewNodeComm(wLdr)
+			steps := make([]collective.StepTimes, wLdr.NumProcs())
+			wLdr.Run(func(p *mpi.Proc) {
+				buf := make([]uint64, words)
+				steps[p.Rank()] = nc.LeaderAllgather(p, buf, lay)
+			})
+			// Report the mean across ranks (children have zero inter time).
+			for _, st := range steps {
+				results[i].mean.GatherNs += st.GatherNs / float64(len(steps))
+				results[i].mean.InterNs += st.InterNs / float64(len(steps))
+				results[i].mean.BcastNs += st.BcastNs / float64(len(steps))
+			}
 
-		// HierKNEM-style overlapped variant (Section V: overlap cannot
-		// hide intra-node cost when it exceeds inter-node).
-		wOv := mpi.NewWorld(cfg, pl)
-		ncOv := collective.NewNodeComm(wOv)
-		wOv.Run(func(p *mpi.Proc) {
-			buf := make([]uint64, words)
-			ncOv.LeaderAllgatherPipelined(p, buf, lay)
-		})
-		ovNs := wOv.MaxClock()
-
+			// HierKNEM-style overlapped variant (Section V: overlap cannot
+			// hide intra-node cost when it exceeds inter-node).
+			wOv := mpi.NewWorld(cfg, pl)
+			ncOv := collective.NewNodeComm(wOv)
+			wOv.Run(func(p *mpi.Proc) {
+				buf := make([]uint64, words)
+				ncOv.LeaderAllgatherPipelined(p, buf, lay)
+			})
+			results[i].ovNs = wOv.MaxClock()
+			return nil
+		}}
+	}
+	if err := s.runCells("6", cells); err != nil {
+		return nil, err
+	}
+	for i, size := range Fig6Sizes {
+		r := results[i]
 		t.AddRow(fmt.Sprintf("default %s", sizeLabel(size)), 1, 0, 0, 0)
 		t.AddRow(fmt.Sprintf("leader-based %s", sizeLabel(size)),
-			mean.Total()/defNs, mean.GatherNs/defNs, mean.InterNs/defNs, mean.BcastNs/defNs)
+			r.mean.Total()/r.defNs, r.mean.GatherNs/r.defNs, r.mean.InterNs/r.defNs, r.mean.BcastNs/r.defNs)
 		t.AddRow(fmt.Sprintf("overlapped %s (HierKNEM-like)", sizeLabel(size)),
-			ovNs/defNs, 0, 0, 0)
+			r.ovNs/r.defNs, 0, 0, 0)
 	}
 	t.Notes = append(t.Notes,
 		"paper: intra-node steps dominate the leader-based time; sizes stand in for 64/512 MB at 1:8 ratio",

@@ -36,21 +36,31 @@ func Fig3(s Spec) (*Table, error) {
 		Columns: []string{"TEPS", "vs 1 core", "vs 8 cores"},
 	}
 	opts := bfs.DefaultOptions()
-	teps := make([]float64, len(variants))
+	cells := make([]cellRun, len(variants))
 	for i, v := range variants {
-		cfg := s.clusterConfig(1)
-		cfg.Nodes = 1
-		cfg.SocketsPerNode = v.sockets
-		cfg.CoresPerSocket = v.cores
-		res, err := graph500.Run(graph500.Config{
-			Machine: cfg, Policy: v.policy, Params: params,
-			Opts: opts, NumRoots: s.Roots, Validate: s.Validate,
-			Obs: s.Obs,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s: %w", v.label, err)
-		}
-		teps[i] = res.HarmonicTEPS
+		cells[i] = cellRun{label: v.label, run: func(cs Spec) (*graph500.Result, error) {
+			cfg := cs.clusterConfig(1)
+			cfg.Nodes = 1
+			cfg.SocketsPerNode = v.sockets
+			cfg.CoresPerSocket = v.cores
+			res, err := graph500.Run(graph500.Config{
+				Machine: cfg, Policy: v.policy, Params: params,
+				Opts: opts, NumRoots: cs.Roots, Validate: cs.Validate,
+				Obs: cs.Obs,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s: %w", v.label, err)
+			}
+			return res, nil
+		}}
+	}
+	results, err := s.collect("3", cells)
+	if err != nil {
+		return nil, err
+	}
+	teps := make([]float64, len(variants))
+	for i := range variants {
+		teps[i] = results[i].HarmonicTEPS
 	}
 	for i, v := range variants {
 		t.AddRow(v.label, teps[i], teps[i]/teps[0], teps[i]/teps[1])
@@ -72,16 +82,22 @@ func Fig10(s Spec) (*Table, error) {
 	policies := []machine.Policy{
 		machine.PPN1NoFlag, machine.PPN1Interleave, machine.PPN8NoFlag, machine.PPN8Bind,
 	}
-	teps := make([]float64, len(policies))
+	cells := make([]cellRun, len(policies))
 	for i, pol := range policies {
-		res, err := s.run(1, pol, bfs.DefaultOptions())
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", pol, err)
-		}
-		teps[i] = res.HarmonicTEPS
+		cells[i] = cellRun{label: pol.String(), run: func(cs Spec) (*graph500.Result, error) {
+			res, err := cs.run(1, pol, bfs.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s: %w", pol, err)
+			}
+			return res, nil
+		}}
+	}
+	results, err := s.collect("10", cells)
+	if err != nil {
+		return nil, err
 	}
 	for i, pol := range policies {
-		t.AddRow(pol.String(), teps[i], teps[i]/teps[1])
+		t.AddRow(pol.String(), results[i].HarmonicTEPS, results[i].HarmonicTEPS/results[1].HarmonicTEPS)
 	}
 	t.Notes = append(t.Notes,
 		"paper: bind-to-socket = 1.74x of ppn=1.interleave and 2.08x of ppn=8.noflag")
@@ -102,14 +118,25 @@ func Fig11(s Spec) (*Table, error) {
 		},
 	}
 	t.Breakdowns = make(map[string]trace.Breakdown)
+	policies := []machine.Policy{machine.PPN1Interleave, machine.PPN8Bind}
+	cells := make([]cellRun, len(policies))
+	for i, pol := range policies {
+		cells[i] = cellRun{label: pol.String(), run: func(cs Spec) (*graph500.Result, error) {
+			res, err := cs.run(1, pol, bfs.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s: %w", pol, err)
+			}
+			return res, nil
+		}}
+	}
+	results, err := s.collect("11", cells)
+	if err != nil {
+		return nil, err
+	}
 	var bds [2]trace.Breakdown
-	for i, pol := range []machine.Policy{machine.PPN1Interleave, machine.PPN8Bind} {
-		res, err := s.run(1, pol, bfs.DefaultOptions())
-		if err != nil {
-			return nil, fmt.Errorf("fig11 %s: %w", pol, err)
-		}
-		bds[i] = res.Breakdown
-		t.Breakdowns[pol.String()] = res.Breakdown
+	for i, pol := range policies {
+		bds[i] = results[i].Breakdown
+		t.Breakdowns[pol.String()] = results[i].Breakdown
 		t.AddRow(pol.String(),
 			bds[i].Ns[trace.TDComp]/1e6, bds[i].Ns[trace.TDComm]/1e6,
 			bds[i].Ns[trace.BUComp]/1e6, bds[i].Ns[trace.BUComm]/1e6,
@@ -136,46 +163,51 @@ func AlgorithmComparison(s Spec) (*Table, error) {
 		Columns: []string{"TEPS", "hybrid speedup"},
 	}
 
-	run := func(mode bfs.Mode, pureMPI bool) (float64, error) {
-		cfg := s.clusterConfig(1)
-		cfg.Nodes = 1
-		pol := machine.PPN8Bind
-		if pureMPI {
-			// 64 single-thread MPI ranks: model each core as its own
-			// bandwidth domain with 1/8 of a socket's resources.
-			cfg.SocketsPerNode = 64
-			cfg.CoresPerSocket = 1
-			cfg.MemBWPerSocket /= 8
-			cfg.L3Bytes /= 8
-			if cfg.L3Bytes < 64 {
-				cfg.L3Bytes = 64
+	type variant struct {
+		label   string
+		mode    bfs.Mode
+		pureMPI bool
+	}
+	variants := []variant{
+		{"hybrid (8 ranks x 8 threads)", bfs.ModeHybrid, false},
+		{"top-down (pure MPI, 64 ranks)", bfs.ModeTopDown, true},
+		{"bottom-up (8 ranks x 8 threads)", bfs.ModeBottomUp, false},
+	}
+	cells := make([]cellRun, len(variants))
+	for i, v := range variants {
+		cells[i] = cellRun{label: v.label, run: func(cs Spec) (*graph500.Result, error) {
+			cfg := cs.clusterConfig(1)
+			cfg.Nodes = 1
+			pol := machine.PPN8Bind
+			if v.pureMPI {
+				// 64 single-thread MPI ranks: model each core as its own
+				// bandwidth domain with 1/8 of a socket's resources.
+				cfg.SocketsPerNode = 64
+				cfg.CoresPerSocket = 1
+				cfg.MemBWPerSocket /= 8
+				cfg.L3Bytes /= 8
+				if cfg.L3Bytes < 64 {
+					cfg.L3Bytes = 64
+				}
 			}
-		}
-		opts := bfs.DefaultOptions()
-		opts.Mode = mode
-		res, err := graph500.Run(graph500.Config{
-			Machine: cfg, Policy: pol, Params: params,
-			Opts: opts, NumRoots: s.Roots, Validate: s.Validate,
-			Obs: s.Obs,
-		})
-		if err != nil {
-			return 0, err
-		}
-		return res.HarmonicTEPS, nil
+			opts := bfs.DefaultOptions()
+			opts.Mode = v.mode
+			res, err := graph500.Run(graph500.Config{
+				Machine: cfg, Policy: pol, Params: params,
+				Opts: opts, NumRoots: cs.Roots, Validate: cs.Validate,
+				Obs: cs.Obs,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("algcmp %s: %w", v.label, err)
+			}
+			return res, nil
+		}}
 	}
-
-	hybrid, err := run(bfs.ModeHybrid, false)
+	results, err := s.collect("algcmp", cells)
 	if err != nil {
-		return nil, fmt.Errorf("algcmp hybrid: %w", err)
+		return nil, err
 	}
-	td, err := run(bfs.ModeTopDown, true)
-	if err != nil {
-		return nil, fmt.Errorf("algcmp top-down: %w", err)
-	}
-	bu, err := run(bfs.ModeBottomUp, false)
-	if err != nil {
-		return nil, fmt.Errorf("algcmp bottom-up: %w", err)
-	}
+	hybrid, td, bu := results[0].HarmonicTEPS, results[1].HarmonicTEPS, results[2].HarmonicTEPS
 	t.AddRow("hybrid (8 ranks x 8 threads)", hybrid, 1)
 	t.AddRow("top-down (pure MPI, 64 ranks)", td, hybrid/td)
 	t.AddRow("bottom-up (8 ranks x 8 threads)", bu, hybrid/bu)

@@ -18,16 +18,25 @@ func LevelProfile(s Spec) (*Table, error) {
 	const nodes = 4
 	scale := s.scaleFor(nodes)
 	params := rmat.Graph500(scale)
-	r, err := bfs.NewRunner(s.clusterConfig(nodes), machine.PPN8Bind, params, bfs.DefaultOptions())
+
+	var res bfs.RootResult
+	var root int64
+	err := s.runCells("levels", []cell{{label: "profile", run: func(cs Spec) error {
+		r, err := bfs.NewRunner(cs.clusterConfig(nodes), machine.PPN8Bind, params, bfs.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("levels: %w", err)
+		}
+		if cs.Obs != nil {
+			r.AttachObs(cs.Obs.NewSession(fmt.Sprintf("level profile nodes=%d scale=%d", nodes, scale)))
+		}
+		r.Setup()
+		root = params.Roots(1, r.HasEdgeGlobal)[0]
+		res = r.RunRoot(root)
+		return nil
+	}}})
 	if err != nil {
-		return nil, fmt.Errorf("levels: %w", err)
+		return nil, err
 	}
-	if s.Obs != nil {
-		r.AttachObs(s.Obs.NewSession(fmt.Sprintf("level profile nodes=%d scale=%d", nodes, scale)))
-	}
-	r.Setup()
-	root := params.Roots(1, r.HasEdgeGlobal)[0]
-	res := r.RunRoot(root)
 
 	t := &Table{
 		Name:    "Fig. 1 / Sec. II.B",

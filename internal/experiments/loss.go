@@ -5,6 +5,7 @@ import (
 
 	"numabfs/internal/bfs"
 	"numabfs/internal/fault"
+	"numabfs/internal/graph500"
 )
 
 // lossRates is the message-unreliability sweep: drop probability per
@@ -42,7 +43,7 @@ func ExtLoss(s Spec) (*Table, error) {
 		Columns: []string{"clean", "loss 0%", "loss 0.5%", "loss 2%", "loss 5%"},
 	}
 
-	type cell struct {
+	type lossCell struct {
 		retained float64
 		timeNs   float64
 		retrans  int64
@@ -50,37 +51,52 @@ func ExtLoss(s Spec) (*Table, error) {
 		roots    int
 	}
 	variants := faultVariants()
-	cells := make(map[string][]cell, len(variants))
+	nCols := len(lossRates) + 1 // clean + the rate sweep
 
+	var runs []cellRun
 	for _, v := range variants {
-		opts := bfs.DefaultOptions()
-		opts.Opt = v.opt
-		var baseline float64
-		row := make([]cell, 0, len(lossRates)+1)
 		for i := -1; i < len(lossRates); i++ {
-			fs := s
-			fs.Validate = true // Graph500 tree validation is the oracle for every cell
+			v, i := v, i
+			col := "clean"
 			if i >= 0 {
-				plan := fault.Lossy(seed, lossRates[i])
-				fs.Faults = &plan
-			} else {
-				fs.Faults = nil // clean: transport not even compiled into the timing
+				col = fmt.Sprintf("rate %g", lossRates[i])
 			}
-			res, err := fs.run(nodes, v.policy, opts)
-			if err != nil {
-				col := "clean"
-				if i >= 0 {
-					col = fmt.Sprintf("rate %g", lossRates[i])
-				}
-				return nil, fmt.Errorf("ext loss %s %s: %w", v.label, col, err)
-			}
-			c := cell{timeNs: res.MeanTimeNs, roots: len(res.PerRoot)}
+			runs = append(runs, cellRun{
+				label: fmt.Sprintf("%s/%s", v.label, col),
+				run: func(cs Spec) (*graph500.Result, error) {
+					opts := bfs.DefaultOptions()
+					opts.Opt = v.opt
+					cs.Validate = true // Graph500 tree validation is the oracle for every cell
+					if i >= 0 {
+						plan := fault.Lossy(seed, lossRates[i])
+						cs.Faults = &plan
+					} else {
+						cs.Faults = nil // clean: transport not even compiled into the timing
+					}
+					res, err := cs.run(nodes, v.policy, opts)
+					if err != nil {
+						return nil, fmt.Errorf("ext loss %s %s: %w", v.label, col, err)
+					}
+					return res, nil
+				},
+			})
+		}
+	}
+	results, err := s.collect("loss", runs)
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make(map[string][]lossCell, len(variants))
+	for vi, v := range variants {
+		row := make([]lossCell, 0, nCols)
+		baseline := results[vi*nCols].HarmonicTEPS
+		for i := 0; i < nCols; i++ {
+			res := results[vi*nCols+i]
+			c := lossCell{timeNs: res.MeanTimeNs, roots: len(res.PerRoot)}
 			for _, rr := range res.PerRoot {
 				c.retrans += rr.Xport.Retransmits
 				c.overhead += rr.Xport.OverheadBytes
-			}
-			if i == -1 {
-				baseline = res.HarmonicTEPS
 			}
 			c.retained = res.HarmonicTEPS / baseline
 			row = append(row, c)

@@ -40,22 +40,55 @@ func ExtOverlap(s Spec) (*Table, error) {
 		Columns: []string{"1 node", "2 nodes", "4 nodes", "8 nodes", "16 nodes"},
 	}
 
-	run := func(nodes int, opts bfs.Options) (*graph500.Result, error) {
-		fs := s
-		fs.Validate = true // Graph500 tree validation is the oracle for every cell
-		return fs.run(nodes, machine.PPN8Bind, opts)
+	// Cells: the compressed baseline across the sweep, then each pipeline
+	// depth across the sweep (segs-major, matching the sequential order).
+	nN := len(nodesSweep)
+	var cells []cellRun
+	for _, nodes := range nodesSweep {
+		nodes := nodes
+		cells = append(cells, cellRun{
+			label: fmt.Sprintf("compressed/%dn", nodes),
+			run: func(cs Spec) (*graph500.Result, error) {
+				cs.Validate = true // Graph500 tree validation is the oracle for every cell
+				opts := bfs.DefaultOptions()
+				opts.Opt = bfs.OptCompressedAllgather
+				res, err := cs.run(nodes, machine.PPN8Bind, opts)
+				if err != nil {
+					return nil, fmt.Errorf("ext overlap compressed %d nodes: %w", nodes, err)
+				}
+				return res, nil
+			},
+		})
+	}
+	for _, segs := range overlapSegCounts {
+		for _, nodes := range nodesSweep {
+			segs, nodes := segs, nodes
+			cells = append(cells, cellRun{
+				label: fmt.Sprintf("segs=%d/%dn", segs, nodes),
+				run: func(cs Spec) (*graph500.Result, error) {
+					cs.Validate = true
+					opts := bfs.DefaultOptions()
+					opts.Opt = bfs.OptOverlapAllgather
+					opts.OverlapSegments = segs
+					res, err := cs.run(nodes, machine.PPN8Bind, opts)
+					if err != nil {
+						return nil, fmt.Errorf("ext overlap segs=%d %d nodes: %w", segs, nodes, err)
+					}
+					return res, nil
+				},
+			})
+		}
+	}
+	results, err := s.collect("overlap", cells)
+	if err != nil {
+		return nil, err
 	}
 
-	compTeps := make([]float64, 0, len(nodesSweep))
-	compTime := make([]float64, 0, len(nodesSweep))
-	compProp := make([]float64, 0, len(nodesSweep))
-	for _, nodes := range nodesSweep {
-		opts := bfs.DefaultOptions()
-		opts.Opt = bfs.OptCompressedAllgather
-		res, err := run(nodes, opts)
-		if err != nil {
-			return nil, fmt.Errorf("ext overlap compressed %d nodes: %w", nodes, err)
-		}
+	compTeps := make([]float64, 0, nN)
+	compTime := make([]float64, 0, nN)
+	compProp := make([]float64, 0, nN)
+	for i := range nodesSweep {
+		res := results[i]
 		compTeps = append(compTeps, res.HarmonicTEPS)
 		compTime = append(compTime, res.MeanTimeNs)
 		compProp = append(compProp, res.Breakdown.Proportion(trace.BUComm))
@@ -63,16 +96,10 @@ func ExtOverlap(s Spec) (*Table, error) {
 	t.AddRow("+ Compressed allgather TEPS", compTeps...)
 
 	var overProp, hiddenMs, exposedMs, eff, speedup []float64
-	for _, segs := range overlapSegCounts {
-		opts := bfs.DefaultOptions()
-		opts.Opt = bfs.OptOverlapAllgather
-		opts.OverlapSegments = segs
-		teps := make([]float64, 0, len(nodesSweep))
-		for i, nodes := range nodesSweep {
-			res, err := run(nodes, opts)
-			if err != nil {
-				return nil, fmt.Errorf("ext overlap segs=%d %d nodes: %w", segs, nodes, err)
-			}
+	for si, segs := range overlapSegCounts {
+		teps := make([]float64, 0, nN)
+		for i := range nodesSweep {
+			res := results[nN+si*nN+i]
 			teps = append(teps, res.HarmonicTEPS)
 			if segs == overlapDefaultSegs {
 				hidden := res.Breakdown.Ns[trace.Overlap]
@@ -132,14 +159,26 @@ func AblationOverlap(s Spec) (*Table, error) {
 		{"overlap segs=16", func(o *bfs.Options) { o.OverlapSegments = 16 }},
 		{"overlap segs=64", func(o *bfs.Options) { o.OverlapSegments = 64 }},
 	}
-	for _, c := range cfgs {
-		opts := bfs.DefaultOptions()
-		opts.Opt = bfs.OptOverlapAllgather
-		c.mod(&opts)
-		res, err := s.run(nodes, machine.PPN8Bind, opts)
-		if err != nil {
-			return nil, fmt.Errorf("ablation overlap %s: %w", c.label, err)
-		}
+	cells := make([]cellRun, len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		cells[i] = cellRun{label: c.label, run: func(cs Spec) (*graph500.Result, error) {
+			opts := bfs.DefaultOptions()
+			opts.Opt = bfs.OptOverlapAllgather
+			c.mod(&opts)
+			res, err := cs.run(nodes, machine.PPN8Bind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ablation overlap %s: %w", c.label, err)
+			}
+			return res, nil
+		}}
+	}
+	results, err := s.collect("abl-overlap", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cfgs {
+		res := results[i]
 		hidden := res.Breakdown.Ns[trace.Overlap]
 		exposed := res.Breakdown.OverlapExposedNs
 		e := 0.0

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/fault"
+	"numabfs/internal/graph500"
+	"numabfs/internal/machine"
+	"numabfs/internal/obs"
+)
+
+// runFig10At runs Fig10 at the given parallel width with a fresh
+// recorder, cache and ledger, returning everything a caller might want
+// to compare across widths.
+func runFig10At(t *testing.T, parallel int) (*Table, *obs.Recorder, *Ledger) {
+	t.Helper()
+	s := quick()
+	s.Parallel = parallel
+	s.Obs = obs.NewRecorder()
+	s.Cache = graph500.NewGraphCache()
+	s.Ledger = NewLedger()
+	tab, err := Fig10(s)
+	if err != nil {
+		t.Fatalf("parallel=%d: %v", parallel, err)
+	}
+	return tab, s.Obs, s.Ledger
+}
+
+// TestParallelRunnerDeterministic is the tentpole acceptance: a figure
+// driver run at -parallel 8 must be byte-identical to the sequential
+// run — rendered table, JSON table, Chrome-trace export (session order
+// and content), and the ledger's (fig, cell) sequence. Only HostNs may
+// differ.
+func TestParallelRunnerDeterministic(t *testing.T) {
+	seqTab, seqRec, seqLed := runFig10At(t, 1)
+	parTab, parRec, parLed := runFig10At(t, 8)
+
+	if seqTab.String() != parTab.String() {
+		t.Errorf("rendered tables differ:\n--- parallel=1\n%s\n--- parallel=8\n%s", seqTab, parTab)
+	}
+	seqJSON, _ := json.Marshal(seqTab)
+	parJSON, _ := json.Marshal(parTab)
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Error("JSON tables differ between parallel widths")
+	}
+
+	seqTrace, err := seqRec.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parTrace, err := parRec.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Errorf("Chrome-trace exports differ between parallel widths (%d vs %d bytes)",
+			len(seqTrace), len(parTrace))
+	}
+
+	var seqTL, parTL bytes.Buffer
+	if err := seqRec.WriteTimelineJSONL(&seqTL); err != nil {
+		t.Fatal(err)
+	}
+	if err := parRec.WriteTimelineJSONL(&parTL); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqTL.Bytes(), parTL.Bytes()) {
+		t.Error("timeline JSONL exports differ between parallel widths")
+	}
+
+	seqCells, parCells := seqLed.Cells(), parLed.Cells()
+	if len(seqCells) != len(parCells) {
+		t.Fatalf("ledger lengths differ: %d vs %d", len(seqCells), len(parCells))
+	}
+	for i := range seqCells {
+		if seqCells[i].Fig != parCells[i].Fig || seqCells[i].Cell != parCells[i].Cell {
+			t.Errorf("ledger entry %d differs: %+v vs %+v", i, seqCells[i], parCells[i])
+		}
+	}
+}
+
+// TestParallelRunnerDeterministicUnderLoss repeats the width comparison
+// with fault.Lossy plans and full tree validation in every cell: the
+// reliable transport's retransmission schedule is virtual-time-driven,
+// so it too must not see host scheduling.
+func TestParallelRunnerDeterministicUnderLoss(t *testing.T) {
+	lossy := func(parallel int) *Table {
+		s := Spec{BaseScale: 12, Roots: 1, Parallel: parallel, Cache: graph500.NewGraphCache()}
+		tab := &Table{Name: "loss-det", Columns: []string{"teps", "retrans"}}
+		var cells []cellRun
+		for _, opt := range []bfs.Opt{bfs.OptParAllgather, bfs.OptCompressedAllgather} {
+			for _, rate := range []float64{0, 0.02} {
+				opt, rate := opt, rate
+				cells = append(cells, cellRun{
+					label: fmt.Sprintf("%v/%g", opt, rate),
+					run: func(cs Spec) (*graph500.Result, error) {
+						plan := fault.Lossy(7, rate)
+						cs.Faults = &plan
+						cs.Validate = true
+						opts := bfs.DefaultOptions()
+						opts.Opt = opt
+						return cs.run(2, machine.PPN8Bind, opts)
+					},
+				})
+			}
+		}
+		results, err := s.collect("loss-det", cells)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, res := range results {
+			var retrans int64
+			for _, rr := range res.PerRoot {
+				retrans += rr.Xport.Retransmits
+			}
+			tab.AddRow(cells[i].label, res.HarmonicTEPS, float64(retrans))
+		}
+		return tab
+	}
+	seq, par := lossy(1), lossy(8)
+	if seq.String() != par.String() {
+		t.Errorf("lossy tables differ:\n--- parallel=1\n%s\n--- parallel=8\n%s", seq, par)
+	}
+}
+
+// TestRunnerErrorDeterminism: parallel mode must surface the
+// lowest-index error regardless of which worker fails first, and
+// sequential mode must stop at the first failing cell.
+func TestRunnerErrorDeterminism(t *testing.T) {
+	errA := errors.New("cell 1 failed")
+	errB := errors.New("cell 3 failed")
+	mk := func(ran *[4]bool) []cell {
+		return []cell{
+			{label: "ok", run: func(Spec) error { ran[0] = true; return nil }},
+			{label: "a", run: func(Spec) error { ran[1] = true; time.Sleep(20 * time.Millisecond); return errA }},
+			{label: "ok2", run: func(Spec) error { ran[2] = true; return nil }},
+			{label: "b", run: func(Spec) error { ran[3] = true; return errB }},
+		}
+	}
+
+	var ranPar [4]bool
+	s := Spec{Parallel: 4}
+	// Cell 3's error lands long before cell 1's, but cell 1's must win.
+	if err := s.runCells("t", mk(&ranPar)); !errors.Is(err, errA) {
+		t.Errorf("parallel: got %v, want %v", err, errA)
+	}
+	for i, r := range ranPar {
+		if !r {
+			t.Errorf("parallel: cell %d never ran", i)
+		}
+	}
+
+	var ranSeq [4]bool
+	s.Parallel = 1
+	if err := s.runCells("t", mk(&ranSeq)); !errors.Is(err, errA) {
+		t.Errorf("sequential: got %v, want %v", err, errA)
+	}
+	if ranSeq[2] || ranSeq[3] {
+		t.Error("sequential mode must stop at the first error")
+	}
+}
+
+// TestRunnerObsAndLedgerOrder: with stub cells that each record a
+// session, the parent recorder's session order and the ledger's entry
+// order must match cell declaration order at any width.
+func TestRunnerObsAndLedgerOrder(t *testing.T) {
+	const n = 9
+	s := Spec{Parallel: 4, Obs: obs.NewRecorder(), Ledger: NewLedger()}
+	cells := make([]cell, n)
+	for i := range cells {
+		i := i
+		cells[i] = cell{label: fmt.Sprintf("c%d", i), run: func(cs Spec) error {
+			// Stagger so late-indexed cells finish first.
+			time.Sleep(time.Duration(n-i) * 2 * time.Millisecond)
+			cs.Obs.NewSession(fmt.Sprintf("s%d", i))
+			return nil
+		}}
+	}
+	if err := s.runCells("order", cells); err != nil {
+		t.Fatal(err)
+	}
+	sessions := s.Obs.Sessions()
+	if len(sessions) != n {
+		t.Fatalf("sessions = %d, want %d", len(sessions), n)
+	}
+	for i, sess := range sessions {
+		if want := fmt.Sprintf("s%d", i); sess.Label != want {
+			t.Errorf("session %d = %q, want %q", i, sess.Label, want)
+		}
+	}
+	led := s.Ledger.Cells()
+	if len(led) != n {
+		t.Fatalf("ledger = %d entries, want %d", len(led), n)
+	}
+	for i, c := range led {
+		if want := fmt.Sprintf("c%d", i); c.Cell != want || c.Fig != "order" {
+			t.Errorf("ledger %d = %+v, want fig=order cell=%s", i, c, want)
+		}
+	}
+}
+
+// TestRunnerDispatchesConcurrently verifies the pool actually overlaps
+// cells in host time. Sleep-bound cells overlap regardless of core
+// count, so this holds even on a single-CPU host; the >= 2x wall-clock
+// speedup on simulation-bound figs is CI's host-budget concern.
+func TestRunnerDispatchesConcurrently(t *testing.T) {
+	const n, naplen = 8, 60 * time.Millisecond
+	cells := make([]cell, n)
+	for i := range cells {
+		cells[i] = cell{label: fmt.Sprintf("nap%d", i), run: func(Spec) error {
+			time.Sleep(naplen)
+			return nil
+		}}
+	}
+	s := Spec{Parallel: n}
+	t0 := time.Now()
+	if err := s.runCells("nap", cells); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(t0); wall > time.Duration(n)*naplen/2 {
+		t.Errorf("parallel width %d took %v for %d x %v cells — no overlap", n, wall, n, naplen)
+	}
+}

@@ -36,20 +36,36 @@ func AblationShareDegree(s Spec) (*Table, error) {
 		},
 	}
 
+	var ks []int
 	for _, k := range []int{1, 2, 4, 8} {
 		if k > cfg.SocketsPerNode {
 			break
 		}
-		commNs, err := shareDegreeAllgather(cfg, words, k)
-		if err != nil {
-			return nil, fmt.Errorf("share-degree k=%d: %w", k, err)
-		}
+		ks = append(ks, k)
+	}
+	commNs := make([]float64, len(ks))
+	cells := make([]cell, len(ks))
+	for i, k := range ks {
+		i, k := i, k
+		cells[i] = cell{label: fmt.Sprintf("k=%d", k), run: func(cs Spec) error {
+			ns, err := shareDegreeAllgather(cfg, words, k)
+			if err != nil {
+				return fmt.Errorf("share-degree k=%d: %w", k, err)
+			}
+			commNs[i] = ns
+			return nil
+		}}
+	}
+	if err := s.runCells("abl-sharedegree", cells); err != nil {
+		return nil, err
+	}
+	for i, k := range ks {
 		checkNs := cfg.SharedAccessLatency(inqBytes, k)
 		// All the node's cores drive the checks irrespective of k.
 		lanes := float64(cfg.CoresPerNode()) * cfg.MLP
 		compNs := checks * checkNs / lanes
 		t.AddRow(fmt.Sprintf("k=%d sockets per in_queue", k),
-			commNs/1e3, checkNs, compNs/1e3, (commNs+compNs)/1e3)
+			commNs[i]/1e3, checkNs, compNs/1e3, (commNs[i]+compNs)/1e3)
 	}
 	t.Notes = append(t.Notes,
 		"k=1 is Original (private copies, most communication); k=8 is the paper's full node sharing",

@@ -25,12 +25,6 @@ const DefaultSampleNs = 100_000
 func Timeline(s Spec) (*Table, error) {
 	const nodes = 4
 	scale := s.scaleFor(nodes)
-	rec := s.Obs
-	if rec == nil {
-		// The sweep is about the gauges, so it records even when the CLI
-		// attached no recorder.
-		rec = obs.NewRecorder()
-	}
 	sampleNs := s.SampleNs
 	if sampleNs <= 0 {
 		sampleNs = DefaultSampleNs
@@ -52,27 +46,45 @@ func Timeline(s Spec) (*Table, error) {
 		{"+ Compressed allgather", bfs.OptCompressedAllgather},
 		{"+ Overlap allgather", bfs.OptOverlapAllgather},
 	}
-	for _, c := range cfgs {
-		fs := s
-		fs.Obs = rec
-		fs.SampleNs = sampleNs
-		// No graph cache: a cache hit would skip kernel-1 construction and
-		// shift the session's epoch, so the two rows' gauge streams would
-		// bucket-align differently. Building both keeps the timelines —
-		// and the obsdiff walkthrough over their exports — apples to
-		// apples; the modelled results are identical either way.
-		fs.Cache = nil
-		opts := bfs.DefaultOptions()
-		opts.Opt = c.opt
-		res, err := fs.run(nodes, machine.PPN8Bind, opts)
-		if err != nil {
-			return nil, fmt.Errorf("timeline %s: %w", c.label, err)
-		}
-		sess := rec.Sessions()[len(rec.Sessions())-1]
-		g := gaugeDigest(sess, sampleNs)
-		t.AddRow(c.label, res.HarmonicTEPS, res.MeanTimeNs/1e6,
-			g.peakFrontier, g.peakDensity, g.interBytes/(1<<20),
-			g.peakUtil, g.exposedNs/1e6)
+	rows := make([][]float64, len(cfgs))
+	cells := make([]cell, len(cfgs))
+	for i, c := range cfgs {
+		i, c := i, c
+		cells[i] = cell{label: c.label, run: func(cs Spec) error {
+			rec := cs.Obs
+			if rec == nil {
+				// The sweep is about the gauges, so it records even when
+				// the CLI attached no recorder.
+				rec = obs.NewRecorder()
+				cs.Obs = rec
+			}
+			cs.SampleNs = sampleNs
+			// No graph cache: a cache hit would skip kernel-1 construction
+			// and shift the session's epoch, so the two rows' gauge streams
+			// would bucket-align differently. Building both keeps the
+			// timelines — and the obsdiff walkthrough over their exports —
+			// apples to apples; the modelled results are identical either
+			// way.
+			cs.Cache = nil
+			opts := bfs.DefaultOptions()
+			opts.Opt = c.opt
+			res, err := cs.run(nodes, machine.PPN8Bind, opts)
+			if err != nil {
+				return fmt.Errorf("timeline %s: %w", c.label, err)
+			}
+			sess := rec.Sessions()[len(rec.Sessions())-1]
+			g := gaugeDigest(sess, sampleNs)
+			rows[i] = []float64{res.HarmonicTEPS, res.MeanTimeNs / 1e6,
+				g.peakFrontier, g.peakDensity, g.interBytes / (1 << 20),
+				g.peakUtil, g.exposedNs / 1e6}
+			return nil
+		}}
+	}
+	if err := s.runCells("timeline", cells); err != nil {
+		return nil, err
+	}
+	for i, c := range cfgs {
+		t.AddRow(c.label, rows[i]...)
 	}
 	t.Notes = append(t.Notes,
 		"gauges are recorded on the virtual-time grid by the bfs/mpi/collective layers; recording reads clocks only, so TEPS matches the unsampled run bit for bit",

@@ -16,8 +16,14 @@ import (
 // are keyed by everything that determines the per-rank CSR content and
 // the modelled construction time — the full machine config, placement
 // policy, R-MAT parameters, and the dedup option — so a hit is
-// bit-identical to a fresh build, including SetupNs. Safe for concurrent
-// use; the cached CSRs are shared read-only.
+// bit-identical to a fresh build, including SetupNs.
+//
+// Lookups are singleflight so the cache stays deterministic under the
+// parallel experiment runner: the first requester of a key becomes the
+// build leader (counted as the one miss), later requesters count as hits
+// and wait for the leader's commit instead of each building — and
+// mis-counting — their own copy. Hit/miss totals therefore match the
+// sequential schedule exactly. The cached CSRs are shared read-only.
 type GraphCache struct {
 	mu      sync.Mutex
 	entries map[graphKey]*graphEntry
@@ -32,7 +38,11 @@ type graphKey struct {
 	dedup   bool
 }
 
+// graphEntry is one cache slot. ready is closed when the leader commits
+// (csrs non-nil) or abandons (csrs nil — the build failed; followers
+// fall back to building their own).
 type graphEntry struct {
+	ready   chan struct{}
 	csrs    []*graph.CSR
 	setupNs float64
 }
@@ -42,8 +52,8 @@ func NewGraphCache() *GraphCache {
 	return &GraphCache{entries: make(map[graphKey]*graphEntry)}
 }
 
-// Stats returns the lookup counters: hits (construction skipped) and
-// misses (built fresh, then stored).
+// Stats returns the lookup counters: hits (construction skipped or
+// awaited from a concurrent leader) and misses (built fresh).
 func (c *GraphCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
@@ -52,22 +62,48 @@ func cacheKeyOf(cfg Config) graphKey {
 	return graphKey{machine: cfg.Machine, policy: cfg.Policy, params: cfg.Params, dedup: cfg.Opts.Dedup}
 }
 
-func (c *GraphCache) lookup(k graphKey) *graphEntry {
+// acquire claims the key. The first requester gets leader=true — it must
+// build and then either commit or abandon the entry. Followers get the
+// existing entry to wait() on.
+func (c *GraphCache) acquire(k graphKey) (e *graphEntry, leader bool) {
 	c.mu.Lock()
-	e := c.entries[k]
-	c.mu.Unlock()
-	if e != nil {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+	e = c.entries[k]
+	if e == nil {
+		e = &graphEntry{ready: make(chan struct{})}
+		c.entries[k] = e
+		leader = true
 	}
-	return e
+	c.mu.Unlock()
+	if leader {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e, leader
 }
 
-func (c *GraphCache) store(k graphKey, csrs []*graph.CSR, setupNs float64) {
+// commit publishes the leader's build and releases waiting followers.
+func (c *GraphCache) commit(e *graphEntry, csrs []*graph.CSR, setupNs float64) {
+	e.csrs = csrs
+	e.setupNs = setupNs
+	close(e.ready)
+}
+
+// abandon releases a leader's claim after a failed build: the slot is
+// removed (a later requester becomes a fresh leader) and current waiters
+// are woken to build on their own.
+func (c *GraphCache) abandon(k graphKey, e *graphEntry) {
 	c.mu.Lock()
-	if _, ok := c.entries[k]; !ok {
-		c.entries[k] = &graphEntry{csrs: csrs, setupNs: setupNs}
+	if c.entries[k] == e {
+		delete(c.entries, k)
 	}
 	c.mu.Unlock()
+	close(e.ready)
+}
+
+// wait blocks until the entry's leader commits or abandons. ok reports
+// whether a build was published.
+func (e *graphEntry) wait() (csrs []*graph.CSR, setupNs float64, ok bool) {
+	<-e.ready
+	return e.csrs, e.setupNs, e.csrs != nil
 }

@@ -1,6 +1,7 @@
 package graph500
 
 import (
+	"sync"
 	"testing"
 
 	"numabfs/internal/bfs"
@@ -78,5 +79,78 @@ func TestGraphCacheBitIdentical(t *testing.T) {
 	}
 	if h, m := cache.Stats(); h != 2 || m != 2 {
 		t.Fatalf("cache counters after dedup change: hits=%d misses=%d, want 2/2", h, m)
+	}
+}
+
+// TestGraphCacheSingleflight: concurrent requesters of one key must
+// produce exactly one build (one miss, n-1 hits) with every follower
+// receiving the leader's CSRs — the property that keeps cache counters
+// and results deterministic under the parallel experiment runner.
+func TestGraphCacheSingleflight(t *testing.T) {
+	const scale = 12
+	cfg := machine.Scaled(scale, scale+12)
+	cfg.Nodes = 2
+	cfg.WeakNode = -1
+	base := Config{
+		Machine:  cfg,
+		Policy:   machine.PPN8Bind,
+		Params:   rmat.Graph500(scale),
+		Opts:     bfs.DefaultOptions(),
+		NumRoots: 1,
+		Cache:    NewGraphCache(),
+	}
+
+	const n = 4
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(base)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if h, m := base.Cache.Stats(); h != n-1 || m != 1 {
+		t.Fatalf("cache counters: hits=%d misses=%d, want %d/1", h, m, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if results[i].HarmonicTEPS != results[0].HarmonicTEPS || results[i].SetupNs != results[0].SetupNs {
+			t.Fatalf("run %d diverged: TEPS %g vs %g, SetupNs %g vs %g", i,
+				results[i].HarmonicTEPS, results[0].HarmonicTEPS, results[i].SetupNs, results[0].SetupNs)
+		}
+	}
+}
+
+// TestGraphCacheAbandonReleasesFollowers: when the leader's build dies,
+// followers must not hang — they are woken, build independently, and a
+// later requester becomes a fresh leader.
+func TestGraphCacheAbandonReleasesFollowers(t *testing.T) {
+	c := NewGraphCache()
+	k := graphKey{dedup: true}
+	e, leader := c.acquire(k)
+	if !leader {
+		t.Fatal("first acquire not leader")
+	}
+	done := make(chan bool)
+	go func() {
+		_, _, ok := e.wait()
+		done <- ok
+	}()
+	c.abandon(k, e)
+	if ok := <-done; ok {
+		t.Fatal("follower saw a committed build after abandon")
+	}
+	if _, leader := c.acquire(k); !leader {
+		t.Fatal("post-abandon acquire should be a fresh leader")
+	}
+	if h, m := c.Stats(); h != 0 || m != 2 {
+		t.Fatalf("counters: hits=%d misses=%d, want 0/2", h, m)
 	}
 }

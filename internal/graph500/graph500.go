@@ -93,18 +93,31 @@ func Run(cfg Config) (*Result, error) {
 		}
 		runner.AttachObs(sess)
 	}
-	cached := false
 	if cfg.Cache != nil {
-		if e := cfg.Cache.lookup(cacheKeyOf(cfg)); e != nil {
-			if err := runner.UsePrebuilt(e.csrs, e.setupNs); err != nil {
-				return nil, err
+		k := cacheKeyOf(cfg)
+		e, leader := cfg.Cache.acquire(k)
+		if leader {
+			// Build and publish; if anything below panics before the
+			// commit, release the claim so waiting followers don't hang.
+			committed := false
+			defer func() {
+				if !committed {
+					cfg.Cache.abandon(k, e)
+				}
+			}()
+			runner.Setup()
+			cfg.Cache.commit(e, runner.CSRs(), runner.SetupNs)
+			committed = true
+		} else {
+			if csrs, setupNs, ok := e.wait(); ok {
+				if err := runner.UsePrebuilt(csrs, setupNs); err != nil {
+					return nil, err
+				}
 			}
-			cached = true
+			runner.Setup()
 		}
-	}
-	runner.Setup()
-	if cfg.Cache != nil && !cached {
-		cfg.Cache.store(cacheKeyOf(cfg), runner.CSRs(), runner.SetupNs)
+	} else {
+		runner.Setup()
 	}
 	if cfg.Faults != nil {
 		if err := runner.InjectFaults(*cfg.Faults); err != nil {

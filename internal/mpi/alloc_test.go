@@ -1,0 +1,104 @@
+package mpi
+
+import (
+	"runtime"
+	"testing"
+)
+
+// mallocsDuring runs f and returns the number of heap allocations the
+// whole process performed meanwhile. The rendezvous paths run on rank
+// goroutines, so testing.AllocsPerRun (calling-goroutine only) cannot
+// see them; the global Mallocs counter can, at the cost of absorbing a
+// small fixed overhead from the world's goroutine spawns.
+func mallocsDuring(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestSendRecvHotPathDoesNotAllocPerMessage pins the ack-channel pooling
+// win: after a warm-up run has populated the free-lists, a run exchanging
+// msgs messages must allocate far fewer than msgs objects. Before
+// pooling, every Send and every sendRecv allocated a fresh ack channel —
+// this bound would fail by an order of magnitude.
+func TestSendRecvHotPathDoesNotAllocPerMessage(t *testing.T) {
+	const msgs = 2000
+	w := testWorld(t, 1) // 4 ranks, one node
+	body := func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			for i := 0; i < msgs; i++ {
+				p.Send(1, 7, 64, nil, 1)
+			}
+		case 1:
+			for i := 0; i < msgs; i++ {
+				p.Recv(0, 7)
+			}
+		case 2:
+			for i := 0; i < msgs; i++ {
+				p.SendRecv(3, 9, 64, nil, 3, 9, 1)
+			}
+		case 3:
+			for i := 0; i < msgs; i++ {
+				p.SendRecv(2, 9, 64, nil, 2, 9, 1)
+			}
+		}
+	}
+	w.Run(body) // warm-up: fills the per-rank ack free-lists
+	w.ResetClocks()
+	allocs := mallocsDuring(func() { w.Run(body) })
+	// Per-run fixed overhead (goroutine spawns, WaitGroup, panics chan,
+	// scheduler bookkeeping) is a few dozen objects; 3*msgs messages
+	// crossed the mailboxes. Budget well below one alloc per message.
+	if allocs > msgs/2 {
+		t.Fatalf("run with %d messages allocated %d objects; ack pooling regressed", 3*msgs, allocs)
+	}
+}
+
+// TestIsendHotPathDoesNotAllocAckChannels covers the nonblocking path:
+// Isend must draw its ack channel from the pool and Wait must return it.
+// The Request itself still allocates (callers hold it across the
+// overlap window), so the budget is one small object per message, not
+// two.
+func TestIsendHotPathDoesNotAllocAckChannels(t *testing.T) {
+	const msgs = 2000
+	w := testWorld(t, 1)
+	body := func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			for i := 0; i < msgs; i++ {
+				r := p.Isend(1, 5, 64, nil, 1)
+				r.Wait()
+			}
+		case 1:
+			for i := 0; i < msgs; i++ {
+				var m Msg
+				r := p.Irecv(0, 5, &m)
+				r.Wait()
+			}
+		}
+	}
+	w.Run(body)
+	w.ResetClocks()
+	allocs := mallocsDuring(func() { w.Run(body) })
+	// Two Request structs plus the escaping Msg per exchange are
+	// expected; the regression this guards is the ack channel (chan +
+	// hchan buffer) coming back on top of them.
+	if allocs > 3*msgs+500 {
+		t.Fatalf("run with %d isend/irecv pairs allocated %d objects; ack pooling regressed", msgs, allocs)
+	}
+}
+
+// TestAckPoolRecycles checks the free-list mechanics directly: a channel
+// returned via putAck comes back from getAck, and a stale value left by
+// an abort unwind cannot leak into the next rendezvous.
+func TestAckPoolRecycles(t *testing.T) {
+	p := &Proc{}
+	ch := p.getAck()
+	p.putAck(ch)
+	if got := p.getAck(); got != ch {
+		t.Fatal("getAck did not reuse the pooled channel")
+	}
+}

@@ -1,0 +1,46 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkBarrier compares the flat single-cond barrier (kept for node
+// scope) against the two-level sharded barrier that now backs
+// Proc.Barrier, at the geometries the experiment sweeps actually build.
+// One benchmark iteration is one full-barrier generation across all np
+// parties; the flat variant broadcasts all np waiters under one mutex,
+// the sharded one wakes per-node shards and combines across nodes.
+func BenchmarkBarrier(b *testing.B) {
+	for _, geo := range []struct{ nodes, ppn int }{
+		{8, 8},   // np=64
+		{32, 16}, // np=512
+	} {
+		np := geo.nodes * geo.ppn
+		b.Run(fmt.Sprintf("np=%d/flat", np), func(b *testing.B) {
+			bar := newBarrier(np)
+			benchBarrier(b, np, func(r int, clock float64) { bar.sync(clock) })
+		})
+		b.Run(fmt.Sprintf("np=%d/sharded", np), func(b *testing.B) {
+			bar := newShardedBarrier(geo.nodes, geo.ppn)
+			benchBarrier(b, np, func(r int, clock float64) { bar.sync(r/geo.ppn, clock) })
+		})
+	}
+}
+
+func benchBarrier(b *testing.B, np int, sync1 func(r int, clock float64)) {
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				sync1(r, float64(i))
+			}
+		}(r)
+	}
+	wg.Wait()
+}

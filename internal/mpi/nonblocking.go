@@ -45,7 +45,7 @@ func (p *Proc) IsendWire(dst, tag int, wireBytes, rawBytes int64, payload any, s
 	p.checkCrash()
 	m := message{
 		src: p.rank, tag: tag, bytes: wireBytes, raw: rawBytes, streams: streams,
-		payload: payload, sent: p.clock, ack: make(chan float64, 1),
+		payload: payload, sent: p.clock, ack: p.getAck(),
 	}
 	p.post(dst, m)
 	p.sentBytes += wireBytes
@@ -79,6 +79,7 @@ func (r *Request) Wait() {
 	start := p.clock
 	if !r.isRecv {
 		end := p.await(r.ack)
+		p.putAck(r.ack)
 		if end > p.clock {
 			p.clock = end
 		}

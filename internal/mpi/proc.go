@@ -45,7 +45,30 @@ type Proc struct {
 	// obs is the rank's observability stream; nil (the disabled
 	// recorder) unless World.AttachObs was called.
 	obs *obs.Rank
+
+	// ackFree is the rank's free-list of rendezvous ack channels. Every
+	// blocking or nonblocking send needs a one-shot channel for the
+	// receiver to return the transfer end time on; recycling them keeps
+	// the Send/Recv hot path allocation-free. Only the owning rank's
+	// goroutine touches the list: channels are taken before posting and
+	// returned after a successful await, so a pooled channel is always
+	// empty. Channels in flight during an abort unwind are simply
+	// dropped.
+	ackFree []chan float64
 }
+
+// getAck takes an ack channel from the free-list, or allocates one.
+func (p *Proc) getAck() chan float64 {
+	if n := len(p.ackFree); n > 0 {
+		ch := p.ackFree[n-1]
+		p.ackFree = p.ackFree[:n-1]
+		return ch
+	}
+	return make(chan float64, 1)
+}
+
+// putAck returns a consumed ack channel to the free-list.
+func (p *Proc) putAck(ch chan float64) { p.ackFree = append(p.ackFree, ch) }
 
 // Obs returns the rank's observability stream. It is nil when tracing
 // is off — a nil *obs.Rank is a valid recorder whose methods no-op, so
@@ -144,10 +167,11 @@ func (p *Proc) Send(dst, tag int, bytes int64, payload any, streams int) {
 	start := p.clock
 	m := message{
 		src: p.rank, tag: tag, bytes: bytes, raw: bytes, streams: streams,
-		payload: payload, sent: p.clock, ack: make(chan float64, 1),
+		payload: payload, sent: p.clock, ack: p.getAck(),
 	}
 	p.post(dst, m)
 	end := p.await(m.ack)
+	p.putAck(m.ack)
 	p.clock = end
 	p.commNs += end - start
 	p.sentBytes += bytes
@@ -225,7 +249,7 @@ func (p *Proc) sendRecv(dst, sendTag int, wire, raw int64, payload any, src, rec
 	start := p.clock
 	m := message{
 		src: p.rank, tag: sendTag, bytes: wire, raw: raw, streams: streams,
-		payload: payload, sent: p.clock, ack: make(chan float64, 1),
+		payload: payload, sent: p.clock, ack: p.getAck(),
 	}
 	p.post(dst, m)
 
@@ -239,6 +263,7 @@ func (p *Proc) sendRecv(dst, sendTag int, wire, raw int64, payload any, src, rec
 	in.ack <- inSendEnd
 
 	sendEnd := p.await(m.ack)
+	p.putAck(m.ack)
 	p.clock = maxf(recvEnd, sendEnd)
 	p.commNs += p.clock - start
 	p.sentBytes += wire
@@ -258,7 +283,7 @@ func (p *Proc) sendRecv(dst, sendTag int, wire, raw int64, payload any, src, rec
 func (p *Proc) Barrier() float64 {
 	p.checkCrash()
 	start := p.clock
-	max := p.w.globalBarrier.sync(p.clock)
+	max := p.w.globalBarrier.sync(p.node, p.clock)
 	cost := float64(ceilLog2(p.w.ProcsPerNode())) * p.w.cfg.IntraNodeAlphaNs
 	cost += float64(ceilLog2(p.w.cfg.Nodes)) * p.w.cfg.InterNodeAlphaNs
 	p.clock = max + cost

@@ -1,0 +1,154 @@
+package mpi
+
+import "sync"
+
+// shardedBarrier is the two-level reusable N-party barrier behind
+// World.Barrier. The flat barrier wakes every rank under one mutex with
+// one cond.Broadcast — at 512 ranks that is a thundering herd re-locking
+// a single lock on every BFS level boundary. Here ranks arrive at their
+// node's shard instead; the last arrival of each shard (the shard
+// leader for that generation) carries the shard's running maximum to a
+// small inter-node combiner, and only the combiner synchronizes across
+// nodes. Contention drops from all-ranks-on-one-lock to
+// ranks-per-node-on-a-shard-lock plus nodes-on-the-combiner-lock, and
+// each broadcast wakes one shard's waiters, not the whole world.
+//
+// The virtual-time semantics are identical to the flat barrier: sync
+// returns the maximum clock among all arrivals of the generation. The
+// same parity argument publishes results — a rank cannot be two
+// generations ahead of any other across a full barrier, so two result
+// slots per shard (and per combiner) suffice.
+type shardedBarrier struct {
+	shards []*barrierShard
+	inter  barrierShard // combiner: one "arrival" per shard leader
+}
+
+// barrierShard is one level of the hierarchy: a flat cond-barrier over
+// its own parties. Shards are allocated individually so two shards
+// never share a cache line through the slice backing array.
+type barrierShard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	cur     float64    // max clock accumulating for the current generation
+	result  [2]float64 // published max per generation parity
+	aborted bool
+}
+
+func newBarrierShard(n int) *barrierShard {
+	s := &barrierShard{n: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// newShardedBarrier builds a barrier over shards*perShard ranks: one
+// shard per node, combined over an inter-node stage with one party per
+// shard.
+func newShardedBarrier(shards, perShard int) *shardedBarrier {
+	b := &shardedBarrier{shards: make([]*barrierShard, shards)}
+	for i := range b.shards {
+		b.shards[i] = newBarrierShard(perShard)
+	}
+	b.inter.n = shards
+	b.inter.cond = sync.NewCond(&b.inter.mu)
+	return b
+}
+
+// sync blocks until every party of every shard has arrived and returns
+// the global maximum clock. shard is the caller's shard index (its
+// node). Panics with errAborted if the job aborts while waiting.
+func (b *shardedBarrier) sync(shard int, clock float64) float64 {
+	s := b.shards[shard]
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		panic(errAborted{})
+	}
+	gen := s.gen
+	if clock > s.cur {
+		s.cur = clock
+	}
+	s.arrived++
+	if s.arrived < s.n {
+		// Not last in the shard: wait for the shard leader to publish the
+		// combined result.
+		for s.gen == gen {
+			s.cond.Wait()
+			if s.aborted {
+				s.mu.Unlock()
+				panic(errAborted{})
+			}
+		}
+		r := s.result[gen&1]
+		s.mu.Unlock()
+		return r
+	}
+	// Shard leader: take the shard's maximum to the combiner. Reset the
+	// arrival state now — members can only re-arrive for the next
+	// generation after s.gen advances below, which requires this leader
+	// to have returned from the combiner first.
+	cur := s.cur
+	s.arrived = 0
+	s.cur = 0
+	s.mu.Unlock()
+
+	max := b.interSync(cur)
+
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		panic(errAborted{})
+	}
+	s.result[gen&1] = max
+	s.gen++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return max
+}
+
+// interSync is the combiner stage: a flat barrier over the shard
+// leaders (one per node), exchanging shard maxima for the global one.
+func (b *shardedBarrier) interSync(clock float64) float64 {
+	s := &b.inter
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted {
+		panic(errAborted{})
+	}
+	gen := s.gen
+	if clock > s.cur {
+		s.cur = clock
+	}
+	s.arrived++
+	if s.arrived == s.n {
+		s.result[gen&1] = s.cur
+		s.cur = 0
+		s.arrived = 0
+		s.gen++
+		s.cond.Broadcast()
+		return s.result[gen&1]
+	}
+	for s.gen == gen {
+		s.cond.Wait()
+		if s.aborted {
+			panic(errAborted{})
+		}
+	}
+	return s.result[gen&1]
+}
+
+// abortAll releases every waiter at both levels with a failure.
+func (b *shardedBarrier) abortAll() {
+	for _, s := range b.shards {
+		s.mu.Lock()
+		s.aborted = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	b.inter.mu.Lock()
+	b.inter.aborted = true
+	b.inter.cond.Broadcast()
+	b.inter.mu.Unlock()
+}

@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardedBarrierReturnsGlobalMax drives the sharded barrier directly
+// (outside a World) through several generations: every party of every
+// shard must observe the global maximum of the generation, not just its
+// own shard's.
+func TestShardedBarrierReturnsGlobalMax(t *testing.T) {
+	const shards, perShard, gens = 4, 8, 5
+	b := newShardedBarrier(shards, perShard)
+	np := shards * perShard
+	got := make([][gens]float64, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for g := 0; g < gens; g++ {
+				// Rank r arrives with clock g*1000+r; the global max of the
+				// generation is g*1000 + (np-1).
+				got[r][g] = b.sync(r/perShard, float64(g*1000+r))
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < np; r++ {
+		for g := 0; g < gens; g++ {
+			if want := float64(g*1000 + np - 1); got[r][g] != want {
+				t.Fatalf("rank %d gen %d: sync = %g, want %g", r, g, got[r][g], want)
+			}
+		}
+	}
+}
+
+// TestShardedBarrierSingleShard covers the degenerate one-node geometry,
+// where the combiner has a single party and must not deadlock.
+func TestShardedBarrierSingleShard(t *testing.T) {
+	const perShard = 4
+	b := newShardedBarrier(1, perShard)
+	var wg sync.WaitGroup
+	got := make([]float64, perShard)
+	for r := 0; r < perShard; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			got[r] = b.sync(0, float64(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, v := range got {
+		if v != perShard-1 {
+			t.Fatalf("rank %d: sync = %g, want %d", r, v, perShard-1)
+		}
+	}
+}
+
+// TestShardedBarrierAbortReleasesWaiters parks ranks of one shard in the
+// barrier (their shard is full, but another shard never arrives, so they
+// block at combiner or shard level) and then aborts: every waiter must
+// unwind with errAborted instead of hanging.
+func TestShardedBarrierAbortReleasesWaiters(t *testing.T) {
+	const shards, perShard = 2, 4
+	b := newShardedBarrier(shards, perShard)
+	var wg sync.WaitGroup
+	released := make(chan struct{}, perShard)
+	var entered sync.WaitGroup
+	entered.Add(perShard)
+	for r := 0; r < perShard; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if _, ok := recover().(errAborted); !ok {
+					t.Errorf("party %d: expected errAborted", r)
+				}
+				released <- struct{}{}
+			}()
+			entered.Done()
+			b.sync(0, float64(r)) // shard 1 never arrives
+		}(r)
+	}
+	entered.Wait()
+	b.abortAll()
+	wg.Wait()
+	if len(released) != perShard {
+		t.Fatalf("released %d of %d waiters", len(released), perShard)
+	}
+	// A poisoned barrier must keep failing new arrivals, not hang them.
+	func() {
+		defer func() {
+			if _, ok := recover().(errAborted); !ok {
+				t.Error("post-abort sync: expected errAborted")
+			}
+		}()
+		b.sync(1, 0)
+	}()
+}

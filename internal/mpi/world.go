@@ -44,7 +44,7 @@ type World struct {
 	// mail[dst][src] carries messages from src to dst.
 	mail [][]chan message
 
-	globalBarrier *barrier
+	globalBarrier *shardedBarrier
 	nodeBarriers  []*barrier
 
 	// abort is closed when any rank panics, releasing ranks blocked in
@@ -101,7 +101,7 @@ func NewWorld(cfg machine.Config, pl machine.Placement) *World {
 			w.mail[d][s] = make(chan message, 1)
 		}
 	}
-	w.globalBarrier = newBarrier(np)
+	w.globalBarrier = newShardedBarrier(cfg.Nodes, pl.ProcsPerNode)
 	w.nodeBarriers = make([]*barrier, cfg.Nodes)
 	for n := range w.nodeBarriers {
 		w.nodeBarriers[n] = newBarrier(pl.ProcsPerNode)
@@ -229,7 +229,7 @@ func (w *World) resetAbort() {
 	}
 	w.abort = make(chan struct{})
 	w.abortOnce = sync.Once{}
-	w.globalBarrier = newBarrier(len(w.procs))
+	w.globalBarrier = newShardedBarrier(w.cfg.Nodes, w.pl.ProcsPerNode)
 	for n := range w.nodeBarriers {
 		w.nodeBarriers[n] = newBarrier(w.pl.ProcsPerNode)
 	}

@@ -190,6 +190,17 @@ func (r *Recorder) NewSession(label string) *Session {
 // Sessions returns the recorder's sessions in creation order.
 func (r *Recorder) Sessions() []*Session { return r.sessions }
 
+// Adopt moves sub's sessions onto the end of r, preserving their order.
+// The parallel experiment runner gives every cell a private Recorder and
+// adopts them in submission order once all cells finish, so the merged
+// session sequence — and every export derived from it — is identical to
+// a sequential run's. Call only after the worlds recording into sub have
+// completed.
+func (r *Recorder) Adopt(sub *Recorder) {
+	r.sessions = append(r.sessions, sub.sessions...)
+	sub.sessions = nil
+}
+
 // Session is the event stream of one simulated world. Rank streams are
 // appended by the world on attach; Advance stitches the per-root clock
 // resets into one continuous timeline.

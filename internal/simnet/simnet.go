@@ -27,8 +27,10 @@ type Network struct {
 
 	// inj perturbs inter-node bandwidth (internal/fault). New installs
 	// the config's weak node as a trivial static plan; SetInjector
-	// replaces it wholesale.
-	inj *fault.Injector
+	// replaces it wholesale. Held through an atomic pointer because
+	// SetInjector (driver goroutine, between runs) would otherwise be a
+	// plain write racing TransferTimeAt readers on rank goroutines.
+	inj atomic.Pointer[fault.Injector]
 
 	intraBytes atomic.Int64 // bytes moved between ranks of one node
 	interBytes atomic.Int64 // bytes moved between nodes
@@ -67,19 +69,23 @@ func New(cfg machine.Config) *Network {
 	if err != nil {
 		panic(fmt.Sprintf("simnet: invalid weak-node config: %v", err))
 	}
-	return &Network{cfg: cfg, inj: inj}
+	n := &Network{cfg: cfg}
+	n.inj.Store(inj)
+	return n
 }
 
 // Config returns the machine configuration the network models.
 func (n *Network) Config() machine.Config { return n.cfg }
 
 // Injector returns the network's current fault injector.
-func (n *Network) Injector() *fault.Injector { return n.inj }
+func (n *Network) Injector() *fault.Injector { return n.inj.Load() }
 
 // SetInjector replaces the fault injector. The caller owns composing the
 // config's weak node into the new plan if it should persist (see
-// mpi.World.InjectFaults). Call only while no transfer is in flight.
-func (n *Network) SetInjector(inj *fault.Injector) { n.inj = inj }
+// mpi.World.InjectFaults). The swap is atomic, so a concurrent transfer
+// is charged consistently under exactly one of the two injectors; for
+// deterministic results, still install plans only between runs.
+func (n *Network) SetInjector(inj *fault.Injector) { n.inj.Store(inj) }
 
 // InterNodeBandwidth returns the per-stream bandwidth (bytes/ns) of a
 // transfer between srcNode and dstNode when `streams` same-node ranks
@@ -92,7 +98,7 @@ func (n *Network) InterNodeBandwidth(srcNode, dstNode, streams int) float64 {
 // scheduled fault events may degrade the link.
 func (n *Network) InterNodeBandwidthAt(at float64, srcNode, dstNode, streams int) float64 {
 	bw := n.cfg.StreamBandwidth(streams)
-	if f := n.inj.LinkFactor(srcNode, dstNode, at); f != 1 {
+	if f := n.inj.Load().LinkFactor(srcNode, dstNode, at); f != 1 {
 		bw *= f
 	}
 	return bw
@@ -141,7 +147,7 @@ func (n *Network) TransferTimeAt(at float64, bytes int64, srcNode, dstNode, stre
 	n.interBytes.Add(bytes)
 	n.interMsgs.Add(1)
 	bw := n.cfg.StreamBandwidth(streams)
-	if f := n.inj.LinkFactor(srcNode, dstNode, at); f != 1 {
+	if f := n.inj.Load().LinkFactor(srcNode, dstNode, at); f != 1 {
 		bw *= f
 		n.degradedMsgs.Add(1)
 	}

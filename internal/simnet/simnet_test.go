@@ -188,3 +188,30 @@ func TestXportLedger(t *testing.T) {
 		t.Fatal("ResetVolume left transport counters")
 	}
 }
+
+// TestSetInjectorConcurrentWithTransfers pins the injector swap as safe
+// under the race detector: SetInjector was a plain pointer write racing
+// TransferTimeAt readers on rank goroutines; it is now an atomic swap.
+// Run with -race to make this meaningful.
+func TestSetInjectorConcurrentWithTransfers(t *testing.T) {
+	n := testNet()
+	inj, err := fault.NewInjector(fault.WeakNode(0, 0.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			n.TransferTimeAt(float64(i), 4096, 0, 1, 1)
+			n.InterNodeBandwidthAt(float64(i), 0, 1, 1)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		n.SetInjector(inj)
+		if n.Injector() == nil {
+			t.Fatal("Injector() returned nil after SetInjector")
+		}
+	}
+	<-done
+}
