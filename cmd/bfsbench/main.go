@@ -51,6 +51,7 @@ var drivers = []driver{
 	{"algcmp", experiments.AlgorithmComparison},
 	{"levels", experiments.LevelProfile},
 	{"2d", experiments.Ext2D},
+	{"crossover", experiments.ExtCrossover},
 	{"compression", experiments.ExtCompression},
 	{"faults", experiments.ExtFaults},
 	{"loss", experiments.ExtLoss},

@@ -26,7 +26,9 @@ package bfs2d
 import (
 	"fmt"
 
+	"numabfs/internal/bitmap"
 	"numabfs/internal/collective"
+	"numabfs/internal/fault"
 	"numabfs/internal/machine"
 	"numabfs/internal/mpi"
 	"numabfs/internal/obs"
@@ -34,6 +36,44 @@ import (
 	"numabfs/internal/rmat"
 	"numabfs/internal/trace"
 	"numabfs/internal/wire"
+)
+
+// Mode selects the 2-D engine's traversal direction policy, mirroring
+// the 1-D engine's ladder. The zero value is the engine's historical
+// pure top-down loop, so existing callers (and the committed bench
+// tables) are bit-identical by construction.
+type Mode int
+
+const (
+	// ModeTopDown runs every level top-down (expand/scan/fold).
+	ModeTopDown Mode = iota
+	// ModeHybrid switches between top-down and bottom-up per level with
+	// the same Beamer-style alpha/beta heuristic as the 1-D engine.
+	ModeHybrid
+	// ModeBottomUp runs every level bottom-up.
+	ModeBottomUp
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeTopDown:
+		return "top-down"
+	case ModeHybrid:
+		return "hybrid"
+	case ModeBottomUp:
+		return "bottom-up"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Default hybrid-switch constants; identical to the 1-D engine's
+// DefaultOptions so the two heuristics are comparable.
+const (
+	DefaultAlpha       = 30.0
+	DefaultBeta        = 24.0
+	DefaultGranularity = bitmap.DefaultGranularity
 )
 
 // Grid describes the processor grid.
@@ -62,11 +102,28 @@ type Runner struct {
 	Grid   Grid
 	Params rmat.Params
 
-	// Compress sends the expand phase's frontier vertex lists in the
-	// varint-delta wire format (internal/wire) instead of raw int64s —
-	// the 2-D engine's share of the OptCompressedAllgather machinery.
-	// Set before Setup.
+	// Compress routes the level loop's collectives through the wire
+	// codecs: the expand phase's frontier vertex lists and the fold
+	// phase's (child, parent) pairs travel varint-delta encoded, and in
+	// bottom-up levels the frontier bitmap allgathers use the adaptive
+	// dense/sparse/RLE ring — the 2-D engine's share of the
+	// OptCompressedAllgather machinery. Set before Setup.
 	Compress bool
+
+	// Mode selects the traversal direction policy (top-down, hybrid,
+	// bottom-up). The zero value is pure top-down — the engine's
+	// historical behaviour. Set before Setup; hybrid and bottom-up
+	// require the per-rank block size to be a multiple of 64 so frontier
+	// bitmaps allgather on word boundaries.
+	Mode Mode
+	// Alpha and Beta are the hybrid switch thresholds (0 = the 1-D
+	// engine's defaults): top-down hands over to bottom-up while the
+	// frontier grows and its edges exceed unexplored/Alpha; bottom-up
+	// hands back when the frontier falls below n/Beta.
+	Alpha, Beta float64
+	// Granularity is the bottom-up row-frontier summary granule in bits
+	// (0 = 64, the Graph500 reference value).
+	Granularity int64
 
 	cfg machine.Config
 	pl  machine.Placement
@@ -76,7 +133,26 @@ type Runner struct {
 	cols []*collective.Group // column group per j: ranks (0..R-1, j)
 	rows []*collective.Group // row group per i: ranks (i, 0..C-1)
 
+	// colLayout/rowLayout split the column/row frontier bitmaps into
+	// per-member word segments for the bottom-up allgathers.
+	colLayout collective.Layout
+	rowLayout collective.Layout
+
 	states []*rankState
+
+	// totalEdges is the number of stored directed adjacencies across all
+	// ranks, used by the hybrid switch heuristic.
+	totalEdges int64
+
+	// alpha/beta/granularity are the resolved knobs (Setup).
+	alpha, beta float64
+	granularity int64
+
+	// faults is the active fault plan (InjectFaults); crashOn marks that
+	// the plan schedules rank crashes, enabling the full-rerun recovery
+	// path in RunRoot.
+	faults  fault.Plan
+	crashOn bool
 
 	// SetupNs is the virtual construction time.
 	SetupNs float64
@@ -96,15 +172,50 @@ type rankState struct {
 	// Owned vertex block state.
 	parent []int64
 
-	frontier []int64 // owned frontier entering the next level
-	bd       trace.Breakdown
-	levels   int
+	frontier   []int64 // owned frontier entering the next level
+	bd         trace.Breakdown
+	levels     int
+	levelStats []trace.LevelStat
 
 	// codec and lists are the compressed-expand machinery (nil/empty
 	// when Compress is off): the codec encodes the rank's frontier list
 	// once per level, lists is the reused per-column receive scratch.
-	codec *wire.Codec
-	lists [][]int64
+	// foldCodec serves the fold alltoallv (one codec per collective
+	// purpose — fold payloads alias its slot scratch while expand
+	// payloads alias codec's), and foldOutRow/foldOutCol are the reused
+	// decode scratch for the row (top-down) and column (bottom-up)
+	// folds.
+	codec      *wire.Codec
+	lists      [][]int64
+	foldCodec  *wire.Codec
+	foldOutRow [][]int64
+	foldOutCol [][]int64
+
+	// Bottom-up state (nil below ModeHybrid/ModeBottomUp):
+	//
+	//   colVisited — visited bits over the column's vertex range,
+	//                maintained every level so the bottom-up scan skips
+	//                settled vertices;
+	//   colFront   — the column frontier bitmap; owners write their
+	//                block's segment, the column allgather fills the
+	//                rest;
+	//   rowFront   — the frontier restricted to this grid row's blocks
+	//                (what local adjacencies can hit), gathered along
+	//                the row; rowSum summarizes it;
+	//   sendCol    — the bottom-up fold's per-column-member candidate
+	//                buffers.
+	colVisited *bitmap.Bitmap
+	colFront   *bitmap.Bitmap
+	rowFront   *bitmap.Bitmap
+	rowSum     *bitmap.Summary
+	sendCol    [][]int64
+	sendRow    [][]int64
+	colCodec   *wire.Codec
+	rowCodec   *wire.Codec
+
+	// pendingRecoveryNs carries the full-rerun crash-recovery cost (the
+	// detection-timeout floor) across reset(), which wipes bd.
+	pendingRecoveryNs float64
 
 	// sent stamps deduplicate fold candidates: a vertex discovered by
 	// several local frontier sources is sent to its owner once per level
@@ -168,6 +279,23 @@ func NewRunner(cfg machine.Config, policy machine.Policy, grid Grid, params rmat
 // Setup so construction is recorded too; tracing never advances virtual
 // time.
 func (r *Runner) AttachObs(s *obs.Session) { r.W.AttachObs(s) }
+
+// InjectFaults installs a deterministic fault plan (internal/fault) for
+// all subsequent RunRoot calls: bandwidth degradation, stragglers,
+// jitter and lossy links perturb the modelled times exactly as in the
+// 1-D engine; a scheduled rank crash enables full-rerun recovery — the
+// 2-D engine has no level-boundary checkpoints, so a crashed iteration
+// restarts from the root with clocks floored at detection time. Call
+// after Setup. The machine's configured weak node persists underneath
+// the plan.
+func (r *Runner) InjectFaults(plan fault.Plan) error {
+	if err := r.W.InjectFaults(plan); err != nil {
+		return err
+	}
+	r.faults = plan
+	r.crashOn = len(plan.Crashes) > 0
+	return nil
+}
 
 // rankOf maps grid coordinates to a rank: grid rows vary fastest within
 // a processor column, and a column's R ranks are consecutive — on an

@@ -15,16 +15,44 @@ func (r *Runner) HasEdgeGlobal(v int64) bool {
 	return false
 }
 
-// Levels reconstructs the global level array from the per-rank parent
-// blocks left by the last RunRoot (-1 for unreached vertices). Used by
-// the validator-style tests and the experiment drivers.
-func (r *Runner) Levels(root int64) []int64 {
-	n := r.Params.NumVertices()
-	parent := make([]int64, n)
+// ParentArrays returns the live per-rank owned parent blocks, indexed
+// by rank (entries are owner-relative, block k covering vertices
+// [k*BlockSize, (k+1)*BlockSize)). Exposed for the external validator
+// and its corruption tests, mirroring the 1-D engine.
+func (r *Runner) ParentArrays() [][]int64 {
+	out := make([][]int64, len(r.states))
+	for k, rs := range r.states {
+		out[k] = rs.parent
+	}
+	return out
+}
+
+// Parents assembles the global parent array from the per-rank blocks
+// left by the last RunRoot (-1 for unreached vertices).
+func (r *Runner) Parents() []int64 {
+	parent := make([]int64, r.Params.NumVertices())
 	for rank, rs := range r.states {
 		lo := int64(rank) * r.blockSize
 		copy(parent[lo:lo+r.blockSize], rs.parent)
 	}
+	return parent
+}
+
+// Levels reconstructs the global level array from the per-rank parent
+// blocks left by the last RunRoot (-1 for unreached vertices). Used by
+// the validator-style tests and the experiment drivers.
+//
+// Each vertex's depth is resolved by chasing the parent chain until it
+// reaches the root or an already-resolved ancestor, then unwinding the
+// chase memoizing every vertex on it — a single O(n) pass overall,
+// where the old fixed-point relaxation rescanned all n vertices once
+// per BFS level. A chain longer than n vertices means the parent array
+// contains a cycle not anchored at the root; those vertices (and any
+// vertex whose chain leads into such a cycle, or to an unreached
+// parent) stay -1, exactly as the relaxation left them.
+func (r *Runner) Levels(root int64) []int64 {
+	parent := r.Parents()
+	n := int64(len(parent))
 	level := make([]int64, n)
 	for i := range level {
 		level[i] = -1
@@ -33,17 +61,64 @@ func (r *Runner) Levels(root int64) []int64 {
 		return level
 	}
 	level[root] = 0
-	for changed := true; changed; {
-		changed = false
-		for v := int64(0); v < n; v++ {
-			if level[v] >= 0 || parent[v] < 0 {
-				continue
-			}
-			if pl := level[parent[v]]; pl >= 0 {
-				level[v] = pl + 1
-				changed = true
-			}
+	chain := make([]int64, 0, 64)
+	for v := int64(0); v < n; v++ {
+		if level[v] >= 0 || parent[v] < 0 {
+			continue
+		}
+		chain = chain[:0]
+		u := v
+		for level[u] < 0 && parent[u] >= 0 && int64(len(chain)) <= n {
+			chain = append(chain, u)
+			u = parent[u]
+		}
+		base := level[u] // -1 when the chase hit a cycle or an unreached vertex
+		if base < 0 {
+			continue
+		}
+		for k := len(chain) - 1; k >= 0; k-- {
+			base++
+			level[chain[k]] = base
 		}
 	}
 	return level
+}
+
+// BlockSize returns the number of vertices per owned block.
+func (r *Runner) BlockSize() int64 { return r.blockSize }
+
+// HasEdge reports whether the directed adjacency (u, v) is stored in
+// the grid, via binary search of the sorted local row at the rank that
+// owns it (grid row of v's block, processor column of u). The graph is
+// symmetrized at Setup, so this also answers "is {u, v} an edge".
+func (r *Runner) HasEdge(u, v int64) bool {
+	j := int(u / (int64(r.Grid.R) * r.blockSize))
+	i := int(v/r.blockSize) % r.Grid.R
+	rs := r.states[r.rankOf(i, j)]
+	cLo, _ := r.colRange(j)
+	row := rs.col[rs.rowPtr[u-cLo]:rs.rowPtr[u-cLo+1]]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == v
+}
+
+// EachStoredEdge calls f for every directed adjacency (u, v) stored at
+// grid rank `rank`. Together with HasEdge this is what an external
+// validator needs to check the full Graph500 rule set without reaching
+// into the CSR layout.
+func (r *Runner) EachStoredEdge(rank int, f func(u, v int64)) {
+	rs := r.states[rank]
+	cLo, _ := r.colRange(rs.j)
+	for rel := int64(0); rel < int64(len(rs.rowPtr))-1; rel++ {
+		for _, v := range rs.col[rs.rowPtr[rel]:rs.rowPtr[rel+1]] {
+			f(cLo+rel, v)
+		}
+	}
 }

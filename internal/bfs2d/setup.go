@@ -1,9 +1,11 @@
 package bfs2d
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
+	"numabfs/internal/bitmap"
 	"numabfs/internal/collective"
 	"numabfs/internal/mpi"
 	"numabfs/internal/omp"
@@ -15,6 +17,25 @@ import (
 // directed adjacency (u, v) to the grid rank at (row of v's block,
 // column of u), and builds its local CSR over the column's vertex range.
 func (r *Runner) Setup() {
+	r.alpha, r.beta, r.granularity = r.Alpha, r.Beta, r.Granularity
+	if r.alpha == 0 {
+		r.alpha = DefaultAlpha
+	}
+	if r.beta == 0 {
+		r.beta = DefaultBeta
+	}
+	if r.granularity == 0 {
+		r.granularity = DefaultGranularity
+	}
+	if r.Mode != ModeTopDown {
+		if r.blockSize%64 != 0 {
+			panic(fmt.Sprintf("bfs2d: %s mode needs a block size divisible by 64, have %d", r.Mode, r.blockSize))
+		}
+		colWords := int64(r.Grid.R) * r.blockSize / 64
+		rowWords := int64(r.Grid.C) * r.blockSize / 64
+		r.colLayout = collective.EvenLayout(colWords, r.Grid.R)
+		r.rowLayout = collective.EvenLayout(rowWords, r.Grid.C)
+	}
 	all := collective.WorldGroup(r.W)
 	r.W.Run(func(p *mpi.Proc) {
 		cfg := r.cfg
@@ -95,7 +116,22 @@ func (r *Runner) Setup() {
 		if r.Compress {
 			rs.codec = &wire.Codec{Team: rs.team, Loc: r.pl.PrivateLoc}
 			rs.lists = make([][]int64, r.Grid.R)
+			rs.foldCodec = &wire.Codec{Team: rs.team, Loc: r.pl.PrivateLoc}
+			rs.foldOutRow = make([][]int64, r.Grid.C)
 		}
+		if r.Mode != ModeTopDown {
+			rs.colVisited = bitmap.New(width)
+			rs.colFront = bitmap.New(width)
+			rs.rowFront = bitmap.New(int64(r.Grid.C) * r.blockSize)
+			rs.rowSum = bitmap.NewSummary(int64(r.Grid.C)*r.blockSize, r.granularity)
+			rs.sendCol = make([][]int64, r.Grid.R)
+			if r.Compress {
+				rs.colCodec = &wire.Codec{Team: rs.team, Loc: r.pl.PrivateLoc}
+				rs.rowCodec = &wire.Codec{Team: rs.team, Loc: r.pl.PrivateLoc}
+				rs.foldOutCol = make([][]int64, r.Grid.R)
+			}
+		}
+		rs.sendRow = make([][]int64, r.Grid.C)
 		rs.sent = make([]int64, int64(r.Grid.C)*r.blockSize)
 		for k := range rs.sent {
 			rs.sent[k] = -1
@@ -104,6 +140,10 @@ func (r *Runner) Setup() {
 	})
 	r.SetupNs = r.W.MaxClock()
 	r.W.ResetClocks()
+	r.totalEdges = 0
+	for _, rs := range r.states {
+		r.totalEdges += int64(len(rs.col))
+	}
 }
 
 // neighbors returns the locally stored adjacency of global vertex u

@@ -25,6 +25,7 @@ const (
 	tagRingC     = 0x9000
 	tagListC     = 0xA000
 	tagSeg       = 0xB000
+	tagAlltoallC = 0xC000
 )
 
 // Allgather performs an allgatherv over the group into buf: member i's

@@ -1,6 +1,9 @@
 package collective
 
-import "numabfs/internal/mpi"
+import (
+	"numabfs/internal/mpi"
+	"numabfs/internal/wire"
+)
 
 // AlltoallvInt64 exchanges variable-length int64 vectors between all
 // members using the pairwise-exchange algorithm: n-1 steps, at step s
@@ -36,4 +39,45 @@ func (g *Group) AlltoallvInt64(p *mpi.Proc, send [][]int64) [][]int64 {
 	}
 	p.Obs().Collective("alltoallv", t0, p.Clock())
 	return recv
+}
+
+// AlltoallvInt64Compressed is AlltoallvInt64 with every vector
+// travelling in the codec's varint-delta list format: the same pairwise
+// exchange, but each step encodes the outgoing vector into a per-step
+// scratch slot (EncodeListSlot — a payload in flight is never
+// overwritten by a later encode) and decodes the incoming payload on
+// arrival. out, when non-nil, is reused (out[i] is overwritten via
+// out[i][:0]); pass nil on first use. The member's own vector is
+// referenced, not copied, as in the uncompressed variant.
+func (g *Group) AlltoallvInt64Compressed(p *mpi.Proc, send [][]int64, out [][]int64, c *wire.Codec) [][]int64 {
+	n := g.Size()
+	me := g.Pos(p.Rank())
+	if out == nil {
+		out = make([][]int64, n)
+	}
+	out[me] = send[me]
+	if n == 1 {
+		return out
+	}
+	t0 := p.Clock()
+	for s := 1; s < n; s++ {
+		dst := (me + s) % n
+		src := (me - s + n) % n
+		pl, ens := c.EncodeListSlot(send[dst], s)
+		p.Compute(ens)
+		// Same stream count as the raw pairwise exchange: sparse BFS fold
+		// steps contend with the rank's own two streams, not with every
+		// co-located rank.
+		m := p.SendRecvWire(g.ranks[dst], tagAlltoallC+s, pl.WireBytes, pl.RawBytes, encSeg{id: me, pl: pl},
+			g.ranks[src], tagAlltoallC+s, 2)
+		in := m.Payload.(encSeg)
+		if in.id != src {
+			panic("collective: compressed alltoallv received unexpected vector")
+		}
+		var dns float64
+		out[src], dns = c.DecodeList(in.pl, out[src][:0])
+		p.Compute(dns)
+	}
+	p.Obs().Collective("alltoallv-comp", t0, p.Clock())
+	return out
 }

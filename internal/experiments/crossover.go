@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/bfs2d"
+	"numabfs/internal/engine"
+	"numabfs/internal/graph500"
+	"numabfs/internal/machine"
+	"numabfs/internal/rmat"
+	"numabfs/internal/stats"
+)
+
+// ExtCrossover maps the 1-D/2-D crossover: both engines run at the top
+// of their optimization ladders (the 1-D hybrid with the compressed
+// allgather, the 2-D hybrid with compressed folds) over the weak-scaling
+// node sweep, every BFS tree is validated against the Graph500 rule set,
+// and the measured winner of each cell is compared with the verdict of
+// the analytic selector (internal/engine), which prices both engines
+// from the machine model alone. The table shows where the 2-D engine's
+// smaller frontier bitmaps beat the 1-D engine's narrower scans — and
+// that the selector finds that boundary without running either engine.
+func ExtCrossover(s Spec) (*Table, error) {
+	nodesSweep := []int{2, 4, 8}
+	t := &Table{
+		Name:    "Ext. crossover",
+		Title:   "1-D/2-D crossover: measured winner vs model-driven selector",
+		Columns: []string{"2 nodes", "4 nodes", "8 nodes"},
+	}
+
+	type point struct{ teps, timeNs float64 }
+	// Slots: series-major — 1-D hybrid, 2-D hybrid.
+	points := make([]point, 2*len(nodesSweep))
+	var cells []cell
+	for ni, nodes := range nodesSweep {
+		slot, nodes := ni, nodes
+		cells = append(cells, cell{
+			label: fmt.Sprintf("1-D/%dn", nodes),
+			run: func(cs Spec) error {
+				scale := cs.scaleFor(nodes)
+				opts := bfs.DefaultOptions()
+				opts.Opt = bfs.OptCompressedAllgather
+				r, err := bfs.NewRunner(cs.clusterConfig(nodes), machine.PPN8Bind, rmat.Graph500(scale), opts)
+				if err != nil {
+					return fmt.Errorf("crossover 1-D: %w", err)
+				}
+				if cs.Obs != nil {
+					r.AttachObs(cs.Obs.NewSession(fmt.Sprintf("crossover 1-D nodes=%d", nodes)))
+				}
+				r.Setup()
+				roots := r.Params.Roots(cs.Roots, r.HasEdgeGlobal)
+				var teps, times []float64
+				for _, root := range roots {
+					res := r.RunRoot(root)
+					if err := graph500.ValidateRun(r, root); err != nil {
+						return fmt.Errorf("crossover 1-D nodes=%d root=%d: %w", nodes, root, err)
+					}
+					teps = append(teps, res.TEPS)
+					times = append(times, res.TimeNs)
+				}
+				points[slot] = point{stats.HarmonicMean(teps), stats.Mean(times)}
+				return nil
+			},
+		})
+	}
+	for ni, nodes := range nodesSweep {
+		slot, nodes := len(nodesSweep)+ni, nodes
+		cells = append(cells, cell{
+			label: fmt.Sprintf("2-D/%dn", nodes),
+			run: func(cs Spec) error {
+				scale := cs.scaleFor(nodes)
+				cfg := cs.clusterConfig(nodes)
+				grid := bfs2d.DefaultGrid(nodes * cfg.SocketsPerNode)
+				r, err := bfs2d.NewRunner(cfg, machine.PPN8Bind, grid, rmat.Graph500(scale))
+				if err != nil {
+					return fmt.Errorf("crossover 2-D: %w", err)
+				}
+				r.Mode = bfs2d.ModeHybrid
+				r.Compress = true
+				if cs.Obs != nil {
+					r.AttachObs(cs.Obs.NewSession(fmt.Sprintf("crossover 2-D %dx%d nodes=%d", grid.R, grid.C, nodes)))
+				}
+				r.Setup()
+				roots := r.Params.Roots(cs.Roots, r.HasEdgeGlobal)
+				var teps, times []float64
+				for _, root := range roots {
+					res := r.RunRoot(root)
+					if err := graph500.ValidateRun2D(r, root); err != nil {
+						return fmt.Errorf("crossover 2-D nodes=%d root=%d: %w", nodes, root, err)
+					}
+					teps = append(teps, res.TEPS)
+					times = append(times, res.TimeNs)
+				}
+				points[slot] = point{stats.HarmonicMean(teps), stats.Mean(times)}
+				return nil
+			},
+		})
+	}
+	if err := s.runCells("crossover", cells); err != nil {
+		return nil, err
+	}
+
+	n := len(nodesSweep)
+	teps1, teps2 := make([]float64, n), make([]float64, n)
+	measRatio, modelRatio := make([]float64, n), make([]float64, n)
+	meas2D, pick2D, agree := make([]float64, n), make([]float64, n), make([]float64, n)
+	for i, nodes := range nodesSweep {
+		p1, p2 := points[i], points[n+i]
+		teps1[i], teps2[i] = p1.teps, p2.teps
+		if p1.timeNs > 0 {
+			measRatio[i] = p2.timeNs / p1.timeNs
+		}
+		ch := engine.Select(s.clusterConfig(nodes), s.scaleFor(nodes), nodes)
+		modelRatio[i] = ch.Ratio()
+		if p2.timeNs < p1.timeNs {
+			meas2D[i] = 1
+		}
+		if ch.Use2D {
+			pick2D[i] = 1
+		}
+		if ch.Use2D == (p2.timeNs < p1.timeNs) {
+			agree[i] = 1
+		}
+	}
+	t.AddRow("1-D hybrid TEPS", teps1...)
+	t.AddRow("2-D hybrid TEPS", teps2...)
+	t.AddRow("measured time ratio (2D/1D)", measRatio...)
+	t.AddRow("model cost ratio (2D/1D)", modelRatio...)
+	t.AddRow("measured winner is 2-D (=1)", meas2D...)
+	t.AddRow("selector picks 2-D (=1)", pick2D...)
+	t.AddRow("selector agrees (=1)", agree...)
+	t.Notes = append(t.Notes,
+		"every root of every cell passed Graph500 tree validation (1-D and 2-D validators)",
+		"the selector prices both engines from the machine model alone (internal/engine), no trial runs")
+	return t, nil
+}

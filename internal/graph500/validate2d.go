@@ -1,0 +1,94 @@
+package graph500
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs2d"
+)
+
+// ValidateRun2D checks the BFS tree left in a 2-D runner's rank states
+// against the same Graph500 rule set as ValidateRun:
+//
+//  1. the root's parent is itself;
+//  2. every tree edge (v, parent[v]) exists in the graph;
+//  3. levels derived from the parent tree are consistent (each vertex is
+//     exactly one level below its parent) and the tree is acyclic;
+//  4. every graph edge joins vertices whose levels differ by at most
+//     one, and never joins a visited vertex to an unvisited one (so the
+//     visited set is exactly the root's connected component).
+//
+// Rule 2 consults the grid rank storing the (v, parent) adjacency; rule
+// 4 walks every rank's stored edges, so each undirected edge is checked
+// in both directions (they live on different grid ranks).
+func ValidateRun2D(r *bfs2d.Runner, root int64) error {
+	parent := r.Parents()
+	n := int64(len(parent))
+	if parent[root] != root {
+		return fmt.Errorf("root %d has parent %d, want itself", root, parent[root])
+	}
+
+	// Derive levels by relaxation; depth passes suffice and a pass
+	// without progress with unvisited-but-parented vertices means a
+	// cycle or orphaned subtree.
+	level := make([]int64, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	pending := int64(0)
+	for v := int64(0); v < n; v++ {
+		if parent[v] >= 0 && v != root {
+			pending++
+		}
+	}
+	for pending > 0 {
+		progressed := int64(0)
+		for v := int64(0); v < n; v++ {
+			if level[v] >= 0 || parent[v] < 0 {
+				continue
+			}
+			if pl := level[parent[v]]; pl >= 0 {
+				level[v] = pl + 1
+				progressed++
+			}
+		}
+		if progressed == 0 {
+			return fmt.Errorf("%d vertices have parents but are unreachable from the root (cycle in tree)", pending)
+		}
+		pending -= progressed
+	}
+
+	// Rules 2 and 3 over the parent tree.
+	for v := int64(0); v < n; v++ {
+		pv := parent[v]
+		if pv < 0 || v == root {
+			continue
+		}
+		if !r.HasEdge(v, pv) {
+			return fmt.Errorf("tree edge (%d, %d) is not a graph edge", v, pv)
+		}
+		if level[v] != level[pv]+1 {
+			return fmt.Errorf("vertex %d at level %d but parent %d at level %d", v, level[v], pv, level[pv])
+		}
+	}
+
+	// Rule 4 over every stored directed adjacency.
+	var err error
+	for rank := 0; rank < r.Grid.R*r.Grid.C && err == nil; rank++ {
+		r.EachStoredEdge(rank, func(u, v int64) {
+			if err != nil {
+				return
+			}
+			lu, lv := level[u], level[v]
+			switch {
+			case lu < 0 && lv < 0:
+				// both outside the component: fine
+			case lu < 0 || lv < 0:
+				err = fmt.Errorf("edge (%d, %d) joins visited and unvisited vertices (levels %d, %d)", u, v, lu, lv)
+			case lu-lv > 1 || lv-lu > 1:
+				err = fmt.Errorf("edge (%d, %d) spans levels %d and %d", u, v, lu, lv)
+			}
+		})
+	}
+	return err
+}

@@ -220,6 +220,35 @@ func (c *Codec) EncodeList(vals []int64) (Payload, float64) {
 	return pl, c.Team.Parallel(load)
 }
 
+// EncodeListSlot is EncodeList with a dedicated scratch buffer per
+// slot, for collectives that keep several of this rank's encoded lists
+// in flight at once (the pairwise alltoallv encodes one list per step):
+// step s encodes into slot s, and no slot is reused until the
+// collective completes globally, so a payload still travelling is never
+// overwritten by a later encode — the same argument as EncodeSlot.
+func (c *Codec) EncodeListSlot(vals []int64, slot int) (Payload, float64) {
+	for len(c.slots) <= slot {
+		c.slots = append(c.slots, nil)
+	}
+	c.slots[slot] = AppendList(c.slots[slot][:0], vals)
+	raw := 8 * int64(len(vals))
+	pl := Payload{
+		Format:    FormatList,
+		Enc:       c.slots[slot],
+		WireBytes: int64(len(c.slots[slot])),
+		RawBytes:  raw,
+	}
+	c.stats.Segments[FormatList]++
+	c.stats.RawBytes += raw
+	c.stats.WireBytes += pl.WireBytes
+	load := machine.PhaseLoad{
+		SeqBytes: raw + pl.WireBytes,
+		SeqLoc:   c.Loc,
+		CPUOps:   2 * int64(len(vals)),
+	}
+	return pl, c.Team.Parallel(load)
+}
+
 // DecodeList decodes a list payload, appending the values to out, and
 // returns the extended slice plus the modelled CPU time.
 func (c *Codec) DecodeList(pl Payload, out []int64) ([]int64, float64) {

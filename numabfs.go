@@ -39,6 +39,7 @@ package numabfs
 import (
 	"numabfs/internal/bfs"
 	"numabfs/internal/bfs2d"
+	"numabfs/internal/engine"
 	"numabfs/internal/graph500"
 	"numabfs/internal/machine"
 	"numabfs/internal/obs"
@@ -178,4 +179,21 @@ func DefaultGrid(ranks int) Grid { return bfs2d.DefaultGrid(ranks) }
 // policy, processor grid and graph.
 func NewRunner2D(cfg ClusterConfig, policy Policy, grid Grid, params GraphParams) (*Runner2D, error) {
 	return bfs2d.NewRunner(cfg, policy, grid, params)
+}
+
+// Validate2D checks a 2-D runner's last BFS tree against the Graph500
+// validation rules, mirroring Validate for the 1-D engine.
+func Validate2D(r *Runner2D, root int64) error { return graph500.ValidateRun2D(r, root) }
+
+// EngineChoice is the 1-D/2-D selector's verdict: which engine the
+// analytic cost model predicts faster for a (machine, scale, nodes)
+// cell, the grid the 2-D engine would use, and both modelled costs.
+type EngineChoice = engine.Choice
+
+// SelectEngine predicts whether the 1-D or the 2-D engine completes a
+// BFS root faster on the given machine at the given graph scale and
+// node count, pricing both engines from the machine model alone — no
+// trial runs. See DESIGN.md §7 for the model and its calibration.
+func SelectEngine(cfg ClusterConfig, scale, nodes int) EngineChoice {
+	return engine.Select(cfg, scale, nodes)
 }
