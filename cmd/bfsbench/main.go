@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -54,6 +55,7 @@ var drivers = []driver{
 	{"crossover", experiments.ExtCrossover},
 	{"compression", experiments.ExtCompression},
 	{"faults", experiments.ExtFaults},
+	{"availability", experiments.ExtAvailability},
 	{"loss", experiments.ExtLoss},
 	{"overlap", experiments.ExtOverlap},
 	{"timeline", experiments.Timeline},
@@ -270,6 +272,27 @@ func unknownFigs(want []string) []string {
 	return bad
 }
 
+// loadFaultPlan reads and strictly decodes a -fault plan file: unknown
+// fields and trailing data are errors, so a typoed knob ("permanant",
+// "detect_timeout") fails the run with a diagnostic instead of silently
+// injecting a different plan than the one the user thought they wrote.
+func loadFaultPlan(path string) (*fault.Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var plan fault.Plan
+	if err := dec.Decode(&plan); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%s: trailing data after the fault plan", path)
+	}
+	return &plan, nil
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: "+strings.Join(figKeys(), ","))
 	scale := flag.Int("scale", 16, "graph scale at one node (weak scaling adds log2(nodes))")
@@ -419,17 +442,12 @@ func main() {
 		spec.SampleNs = *sampleNs
 	}
 	if *faultFile != "" {
-		data, err := os.ReadFile(*faultFile)
+		plan, err := loadFaultPlan(*faultFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfsbench: fault plan: %v\n", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
-		var plan fault.Plan
-		if err := json.Unmarshal(data, &plan); err != nil {
-			fmt.Fprintf(os.Stderr, "bfsbench: fault plan %s: %v\n", *faultFile, err)
-			os.Exit(1)
-		}
-		spec.Faults = &plan
+		spec.Faults = plan
 	}
 
 	match := func(key string) bool {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"numabfs/internal/experiments"
@@ -210,5 +211,63 @@ func TestBenchCheckRoundTrip(t *testing.T) {
 	}
 	if drifted != 1 {
 		t.Fatalf("perturbed baseline drifted %d, want 1", drifted)
+	}
+}
+
+func TestLoadFaultPlanStrict(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name    string
+		content string
+		wantErr string // substring of the error; "" means the plan must load
+	}{
+		{"valid crash plan",
+			`{"crashes": [{"rank": 2, "at_ns": 5e6, "permanent": true}], "detect_timeout_ns": 1e6}`,
+			""},
+		{"valid detector tuning",
+			`{"heartbeat_period_ns": 2.5e5, "crashes": [{"rank": 0, "at_ns": 1}]}`,
+			""},
+		{"malformed json",
+			`{"crashes": [`,
+			"unexpected EOF"},
+		{"unknown top-level field",
+			`{"crashs": [{"rank": 2, "at_ns": 5e6}]}`,
+			`unknown field "crashs"`},
+		{"unknown crash field",
+			`{"crashes": [{"rank": 2, "at_ns": 5e6, "permanant": true}]}`,
+			`unknown field "permanant"`},
+		{"trailing data",
+			`{"crashes": []} {"crashes": []}`,
+			"trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := loadFaultPlan(write(strings.ReplaceAll(tc.name, " ", "_")+".json", tc.content))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if len(plan.Crashes) == 0 {
+					t.Fatal("valid plan decoded no crashes")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("decoded without error, plan = %+v", plan)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := loadFaultPlan(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file must error")
 	}
 }

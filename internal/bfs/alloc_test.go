@@ -80,3 +80,79 @@ func TestCheckpointAllocsPooled(t *testing.T) {
 		t.Errorf("checkpointed run allocates %g per root vs %g uncheckpointed — generations not pooled", ck, base)
 	}
 }
+
+// TestCheckpointPoolSurvivesTwoRecoveries: a root that recovers twice
+// (two transient crashes on different ranks) must keep recycling its two
+// checkpoint generations through both attempts — the pool stays bounded,
+// no generation is referenced twice (a recycled-while-live snapshot
+// would alias the restore), and later roots do not grow the pool.
+func TestCheckpointPoolSurvivesTwoRecoveries(t *testing.T) {
+	const scale, nodes = 12, 2
+	opts := optOptions(OptCompressedAllgather)
+	params := rmat.Graph500(scale)
+
+	probe, err := NewRunner(testConfig(scale, nodes, 4), machine.PPN8Bind, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Setup()
+	root := params.Roots(1, probe.HasEdgeGlobal)[0]
+	clean := probe.RunRoot(root)
+
+	r, err := NewRunner(testConfig(scale, nodes, 4), machine.PPN8Bind, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Setup()
+	plan := fault.Plan{Crashes: []fault.Crash{
+		{Rank: 1, AtNs: 0.3 * clean.TimeNs},
+		{Rank: 3, AtNs: 0.65 * clean.TimeNs},
+	}}
+	if err := r.InjectFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	res := r.RunRoot(root)
+	if len(res.Faults) != 2 {
+		t.Fatalf("recovered %d times, want 2 (plan %+v)", len(res.Faults), plan.Crashes)
+	}
+	if res.Visited != clean.Visited || res.TraversedEdges != clean.TraversedEdges {
+		t.Fatalf("twice-recovered traversal differs: %d/%d vs clean %d/%d",
+			res.Visited, res.TraversedEdges, clean.Visited, clean.TraversedEdges)
+	}
+
+	countAndCheck := func(when string) []int {
+		sizes := make([]int, len(r.states))
+		for i, rs := range r.states {
+			seen := make(map[*checkpoint]bool)
+			total := 0
+			for _, ck := range append([]*checkpoint{rs.ckptCur, rs.ckptPrev}, rs.ckptPool...) {
+				if ck == nil {
+					continue
+				}
+				if seen[ck] {
+					t.Fatalf("%s: rank state %d holds the same generation twice", when, i)
+				}
+				seen[ck] = true
+				total++
+			}
+			// Two live generations plus at most one parked recycle.
+			if total > 3 {
+				t.Errorf("%s: rank state %d owns %d checkpoint generations, want <= 3", when, i, total)
+			}
+			sizes[i] = total
+		}
+		return sizes
+	}
+	after := countAndCheck("after two recoveries")
+
+	// Later roots (crashes disarmed, plan still armed enough to keep
+	// checkpointing on) reuse the same generations: the pool must not grow.
+	r.RunRoot(root)
+	r.RunRoot(root)
+	later := countAndCheck("after later roots")
+	for i := range later {
+		if later[i] > after[i] {
+			t.Errorf("rank state %d grew its generation count %d -> %d across roots", i, after[i], later[i])
+		}
+	}
+}

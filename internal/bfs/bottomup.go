@@ -16,8 +16,8 @@ func (rs *rankState) bottomUpLevel(p *mpi.Proc) (nf, mf int64) {
 	var nfLocal, mfLocal int64
 
 	// Clear the owned out_queue segment (a streaming memset).
-	wlo := r.wordLayout.Displs[p.Rank()]
-	wcnt := r.wordLayout.Counts[p.Rank()]
+	wlo := r.wordLayout.Displs[rs.pos]
+	wcnt := r.wordLayout.Counts[rs.pos]
 	own := rs.outQ.Words()[wlo : wlo+wcnt]
 	for i := range own {
 		own[i] = 0
@@ -105,8 +105,8 @@ func (rs *rankState) switchToBottomUp(p *mpi.Proc) {
 	r := rs.r
 	t0 := p.Clock()
 
-	wlo := r.wordLayout.Displs[p.Rank()]
-	wcnt := r.wordLayout.Counts[p.Rank()]
+	wlo := r.wordLayout.Displs[rs.pos]
+	wcnt := r.wordLayout.Counts[rs.pos]
 	own := rs.outQ.Words()[wlo : wlo+wcnt]
 	for i := range own {
 		own[i] = 0
@@ -136,7 +136,7 @@ func (rs *rankState) switchToBottomUp(p *mpi.Proc) {
 func (rs *rankState) switchToTopDown(p *mpi.Proc) {
 	r := rs.r
 	t0 := p.Clock()
-	lo, hi := r.Part.Range(p.Rank())
+	lo, hi := r.Part.Range(rs.pos)
 	rs.queue = rs.inQ.AppendSetBits(rs.queue[:0], lo, hi)
 	load := machine.PhaseLoad{
 		SeqBytes: (hi - lo) / 8,

@@ -122,10 +122,10 @@ func (rs *rankState) saveCheckpoint(p *mpi.Proc, st *loopState) {
 	ck.inq, ck.sum = ck.inq[:0], ck.sum[:0]
 	ck.stable = false
 	if st.bottomUp {
-		if r.Opts.Opt < OptShareInQueue || p.LocalRank() == 0 {
+		if r.Opts.Opt < OptShareInQueue || r.NC.IsLeader(p) {
 			ck.inq = append(ck.inq, rs.inQ.Words()...)
 		}
-		if r.Opts.Opt < OptShareAll || p.LocalRank() == 0 {
+		if r.Opts.Opt < OptShareAll || r.NC.IsLeader(p) {
 			ck.sum = append(ck.sum, rs.inSum.Bits().Words()...)
 		}
 	}
@@ -145,11 +145,12 @@ func (rs *rankState) saveCheckpoint(p *mpi.Proc, st *loopState) {
 	ck.bd = rs.bd
 }
 
-// recoveryTarget returns the level every rank can restore after `rank`
-// crashed, or -1 when the iteration must rerun from the root. Derived
-// from the crashed rank's generations only (see the file comment).
-func (r *Runner) recoveryTarget(rank int) int {
-	ck := r.states[rank].ckptCur
+// recoveryTarget returns the level every rank can restore after the
+// member at partition position `pos` crashed, or -1 when the iteration
+// must rerun from the root. Derived from the crashed rank's generations
+// only (see the file comment).
+func (r *Runner) recoveryTarget(pos int) int {
+	ck := r.states[pos].ckptCur
 	switch {
 	case ck == nil:
 		return -1
@@ -174,13 +175,14 @@ func (rs *rankState) restoreCheckpoint(p *mpi.Proc, target int, floor float64) *
 		rs.recycleCkpt(rs.ckptCur)
 		rs.recycleCkpt(rs.ckptPrev)
 		rs.ckptCur, rs.ckptPrev = nil, nil
-		p.RestoreClock(floor)
-		// The rerun restarts at the detection-timeout floor: that dead
-		// time is the recovery cost. reset() is about to wipe bd, so the
-		// charge is parked and folded back in right after (initRoot).
+		// The rerun restarts at the detection-timeout floor (plus any
+		// parked re-own transfer): that dead time is the recovery cost.
+		// reset() is about to wipe bd, so the charges are parked and
+		// folded back in right after (initRoot).
+		p.RestoreClock(floor + rs.pendingReownNs)
 		rs.pendingRecoveryNs = floor
 		rs.rec.PhaseSpan(trace.Recovery, 0, 0, floor)
-		rs.rec.FaultEvent("recover", floor)
+		rs.rec.FaultEvent("recover", p.Clock())
 		return nil
 	}
 	var ck *checkpoint
@@ -222,17 +224,29 @@ func (rs *rankState) restoreCheckpoint(p *mpi.Proc, target int, floor float64) *
 		copy(rs.inSum.Bits().Words(), ck.sum)
 	}
 
+	if rs.pendingReownNs > 0 {
+		// Survivor repartitioning: the re-own transfer (adjacency re-fetch
+		// through the kernel-1 cache, checkpoint handoff from the dead
+		// rank's node scratch) runs before the rollback copy.
+		t0 := p.Clock()
+		p.RestoreClock(t0 + rs.pendingReownNs)
+		rs.bd.Add(trace.Reown, rs.pendingReownNs)
+		rs.rec.PhaseSpan(trace.Reown, rs.levels, t0, p.Clock())
+		rs.pendingReownNs = 0
+	}
+
 	// Charge the rollback copy, then barrier: ranks restoring shared
 	// bitmaps (the node leaders) must finish writing before anyone
 	// reads, and the loop resumes from synchronized clocks exactly as
 	// it left them.
+	reStart := p.Clock()
 	p.Compute(rs.team.Parallel(machine.PhaseLoad{
 		SeqBytes: ck.bytes() * 2,
 		SeqLoc:   r.pl.PrivateLoc,
 	}))
 	p.Barrier()
-	rs.bd.Add(trace.Recovery, p.Clock()-start)
-	rs.rec.PhaseSpan(trace.Recovery, rs.levels, start, p.Clock())
+	rs.bd.Add(trace.Recovery, p.Clock()-reStart)
+	rs.rec.PhaseSpan(trace.Recovery, rs.levels, reStart, p.Clock())
 	rs.rec.FaultEvent("recover", p.Clock())
 
 	st := ck.st

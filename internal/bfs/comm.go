@@ -11,9 +11,8 @@ import (
 // view holds the full new frontier bitmap.
 func (rs *rankState) allgatherInQueue(p *mpi.Proc) {
 	r := rs.r
-	rank := p.Rank()
-	wlo := r.wordLayout.Displs[rank]
-	wcnt := r.wordLayout.Counts[rank]
+	wlo := r.wordLayout.Displs[rs.pos]
+	wcnt := r.wordLayout.Counts[rs.pos]
 	ownOut := rs.outQ.Words()[wlo : wlo+wcnt]
 
 	switch r.Opts.Opt {
@@ -60,10 +59,9 @@ func (rs *rankState) allgatherInQueue(p *mpi.Proc) {
 // second, much smaller allgather of Fig. 1.
 func (rs *rankState) allgatherSummary(p *mpi.Proc) {
 	r := rs.r
-	rank := p.Rank()
 
 	// This rank's summary share in summary words -> base bit range.
-	bitLo, bitHi := rs.shareBits(rank)
+	bitLo, bitHi := rs.shareBits(rs.pos)
 	if r.Opts.Opt >= OptOverlapAllgather {
 		// Most of the share was rebuilt chunk-by-chunk inside the
 		// pipelined allgather; only the gaps remain.
@@ -95,14 +93,15 @@ func (rs *rankState) allgatherSummary(p *mpi.Proc) {
 	}
 }
 
-// shareBits returns the base-bit range [bitLo, bitHi) of rank's
-// in_queue_summary share (granule-aligned; clamped to the vertex count).
-func (rs *rankState) shareBits(rank int) (int64, int64) {
+// shareBits returns the base-bit range [bitLo, bitHi) of a partition
+// position's in_queue_summary share (granule-aligned; clamped to the
+// vertex count).
+func (rs *rankState) shareBits(pos int) (int64, int64) {
 	r := rs.r
 	g := r.Opts.Granularity
 	n := r.Params.NumVertices()
-	slo := r.sumLayout.Displs[rank]
-	scnt := r.sumLayout.Counts[rank]
+	slo := r.sumLayout.Displs[pos]
+	scnt := r.sumLayout.Counts[pos]
 	bitLo := slo * 64 * g
 	bitHi := (slo + scnt) * 64 * g
 	if bitLo > n {

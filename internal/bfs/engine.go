@@ -31,8 +31,20 @@ type Runner struct {
 	cfg machine.Config
 	pl  machine.Placement
 
-	// wordLayout maps rank -> in_queue word segment; sumLayout maps
-	// rank -> summary word segment (even split).
+	// members maps partition position -> rank: the active member list the
+	// partition, the layouts, the groups and the states are all indexed
+	// by. posOf is the inverse (-1 for parked spares and dead ranks). At
+	// full membership without spares, position == rank. Survivor
+	// repartitioning (RecoverShrink) removes a position; spare promotion
+	// (RecoverSpare) re-binds one to another rank.
+	members []int
+	posOf   []int
+	// nodeSpares lists each node's parked spare ranks, lowest first,
+	// consumed by promotions.
+	nodeSpares [][]int
+
+	// wordLayout maps position -> in_queue word segment; sumLayout maps
+	// position -> summary word segment (even split).
 	wordLayout collective.Layout
 	sumLayout  collective.Layout
 
@@ -63,9 +75,12 @@ type Runner struct {
 	prebuiltNs float64
 }
 
-// rankState is the per-rank algorithm state.
+// rankState is the per-member algorithm state, indexed by partition
+// position. A spare promotion re-binds the state to the spare's Proc —
+// the state (and so the partition slot) survives the rank.
 type rankState struct {
 	r    *Runner
+	pos  int // partition position == group position
 	csr  *graph.CSR
 	team omp.Team
 
@@ -109,7 +124,11 @@ type rankState struct {
 
 	// pendingRecoveryNs carries the full-rerun recovery cost (the
 	// detection-timeout floor) across reset(), which wipes bd.
+	// pendingReownNs is the modelled cost of re-owning a dead rank's
+	// state (adjacency re-fetch, checkpoint handoff), parked by a shrink
+	// or promotion and charged to the Reown phase at the next restore.
 	pendingRecoveryNs float64
+	pendingReownNs    float64
 
 	// Overlap-level (OptOverlapAllgather) state: the collective's
 	// hidden/exposed ledger, the cached per-chunk rebuild hook, the
@@ -138,32 +157,55 @@ func NewRunner(cfg machine.Config, policy machine.Policy, params rmat.Params, op
 	pl := machine.PlacementFor(cfg, policy)
 	w := mpi.NewWorld(cfg, pl)
 	np := w.NumProcs()
-	n := params.NumVertices()
-	if n < int64(np)*64 {
-		return nil, fmt.Errorf("bfs: scale %d too small for %d ranks (need >= 64 vertices per rank)", params.Scale, np)
+	ppn := w.ProcsPerNode()
+	if opts.SpareRanks >= ppn {
+		return nil, fmt.Errorf("bfs: %d spare ranks per node leaves no active rank (ppn %d)", opts.SpareRanks, ppn)
 	}
-	part := graph.NewPartition(n, np)
-
+	// The last SpareRanks ranks of every node are parked as hot spares;
+	// the partition covers the active members only. Each node's members
+	// stay contiguous, which the node communicator requires.
 	r := &Runner{
-		W:        w,
-		NC:       collective.NewNodeComm(w),
-		AllGroup: collective.WorldGroup(w),
-		Part:     part,
-		Params:   params,
-		Opts:     opts,
-		cfg:      cfg,
-		pl:       pl,
+		W:      w,
+		Params: params,
+		Opts:   opts,
+		cfg:    cfg,
+		pl:     pl,
 	}
-	r.wordLayout = collective.SegLayout(part.WordOffsets())
+	r.posOf = make([]int, np)
+	r.nodeSpares = make([][]int, cfg.Nodes)
+	var spares []int
+	for rank := 0; rank < np; rank++ {
+		if rank%ppn < ppn-opts.SpareRanks {
+			r.posOf[rank] = len(r.members)
+			r.members = append(r.members, rank)
+		} else {
+			r.posOf[rank] = -1
+			node := rank / ppn
+			r.nodeSpares[node] = append(r.nodeSpares[node], rank)
+			spares = append(spares, rank)
+		}
+	}
+	if len(spares) > 0 {
+		w.Park(spares)
+	}
+	active := len(r.members)
+	n := params.NumVertices()
+	if n < int64(active)*64 {
+		return nil, fmt.Errorf("bfs: scale %d too small for %d active ranks (need >= 64 vertices per rank)", params.Scale, active)
+	}
+	r.Part = graph.NewPartition(n, active)
+	r.AllGroup = collective.NewGroup(w, r.members)
+	r.NC = collective.NewNodeCommRanks(w, r.members)
+	r.wordLayout = collective.SegLayout(r.Part.WordOffsets())
 	words := (n + 63) / 64
 	r.inqBytes = words * 8
 	sumWords := (n/opts.Granularity + 63) / 64
 	if sumWords < 1 {
 		sumWords = 1
 	}
-	r.sumLayout = collective.EvenLayout(sumWords, np)
+	r.sumLayout = collective.EvenLayout(sumWords, active)
 	r.sumBytes = sumWords * 8
-	r.states = make([]*rankState, np)
+	r.states = make([]*rankState, active)
 	return r, nil
 }
 
@@ -250,15 +292,16 @@ func (r *Runner) Setup() {
 	sumWords := r.sumLayout.TotalWords()
 	opt := r.Opts.Opt
 	r.W.Run(func(p *mpi.Proc) {
-		rank := p.Rank()
+		pos := r.posOf[p.Rank()]
 		var csr *graph.CSR
 		if r.prebuilt != nil {
-			csr = r.prebuilt[rank]
+			csr = r.prebuilt[pos]
 		} else {
 			csr = graph.BuildDistributed(p, r.AllGroup, r.Part, r.Params, r.Opts.Dedup)
 		}
 		rs := &rankState{
 			r:    r,
+			pos:  pos,
 			csr:  csr,
 			team: omp.TeamFor(r.cfg, r.pl),
 		}
@@ -278,8 +321,8 @@ func (r *Runner) Setup() {
 			rs.outQ = bitmap.New(n)
 			rs.inSum = bitmap.NewSummary(n, r.Opts.Granularity)
 		}
-		rs.sumSeg = make([]uint64, r.sumLayout.Counts[rank])
-		rs.send = make([][]int64, r.W.NumProcs())
+		rs.sumSeg = make([]uint64, r.sumLayout.Counts[pos])
+		rs.send = make([][]int64, len(r.members))
 		if opt >= OptCompressedAllgather {
 			rs.inqCodec = &wire.Codec{
 				Team: rs.team, Loc: r.inqLoc(),
@@ -294,9 +337,9 @@ func (r *Runner) Setup() {
 		}
 		if opt >= OptOverlapAllgather {
 			rs.ovChunk = rs.onOverlapChunk
-			rs.ovBitLo, rs.ovBitHi = rs.shareBits(rank)
+			rs.ovBitLo, rs.ovBitHi = rs.shareBits(pos)
 		}
-		r.states[rank] = rs
+		r.states[pos] = rs
 	})
 	r.SetupNs = r.W.MaxClock()
 	if r.prebuilt != nil {
@@ -388,6 +431,15 @@ type RootResult struct {
 	// network), so they — unlike TimeNs, TEPS, the parent trees and the
 	// Breakdown — are not bit-reproducible across host schedules.
 	Faults []*mpi.FaultError
+	// MTTRNs is the modelled mean-time-to-repair total of the iteration:
+	// for each survived crash, the failure-detection latency (lease
+	// expiry for permanent deaths, the plain timeout for transient ones)
+	// plus the longest re-own transfer any survivor paid. Zero when no
+	// crash fired.
+	MTTRNs float64
+	// Epoch is the world-view number the iteration finished on: 0 until
+	// a shrink or promotion, stepped by each (mpi.World.Epoch).
+	Epoch int
 }
 
 // RunRoot runs one BFS from root and returns its result. Rank clocks are
@@ -402,14 +454,16 @@ func (r *Runner) RunRoot(root int64) RootResult {
 		rs.recycleCkpt(rs.ckptPrev)
 		rs.ckptCur, rs.ckptPrev = nil, nil
 		rs.pendingRecoveryNs = 0
+		rs.pendingReownNs = 0
 		if rs.inqCodec != nil {
 			rs.inqCodec.ResetStats()
 			rs.sumCodec.ResetStats()
 		}
 	}
 	var faults []*mpi.FaultError
+	var mttrNs float64
 	err := r.W.TryRun(func(p *mpi.Proc) {
-		r.states[p.Rank()].runBFS(p, root)
+		r.states[r.posOf[p.Rank()]].runBFS(p, root)
 	})
 	for attempt := 0; err != nil; attempt++ {
 		f, ok := err.(*mpi.FaultError)
@@ -421,12 +475,38 @@ func (r *Runner) RunRoot(root int64) RootResult {
 			panic(err)
 		}
 		faults = append(faults, f)
-		r.W.Injector().Disarm(f.Rank, f.AtNs)
-		target := r.recoveryTarget(f.Rank)
-		floor := f.AtNs + r.W.Injector().DetectTimeoutNs()
+		inj := r.W.Injector()
+		inj.Disarm(f.Rank, f.AtNs)
+		target := r.recoveryTarget(r.posOf[f.Rank])
+		// Detection: permanent deaths are observed when the dead rank's
+		// last heartbeat lease expires; transient crashes keep the
+		// historical flat timeout so existing plans reproduce exactly.
+		var floor float64
+		if f.Permanent {
+			floor = inj.DetectionTimeNs(f.AtNs)
+			r.W.Proc(f.Rank).Obs().FaultEvent("detect", floor)
+		} else {
+			floor = f.AtNs + inj.DetectTimeoutNs()
+		}
+		// A permanent death under a non-rerun policy removes the rank
+		// from the world before the survivors resume: spare promotion
+		// first (falling back to shrink when the node is out of spares),
+		// else survivor repartitioning.
+		if f.Permanent && r.Opts.Recovery != RecoverRerun {
+			if r.Opts.Recovery != RecoverSpare || !r.promoteSpare(f.Rank, floor) {
+				r.shrinkAfter(f.Rank, floor, target)
+			}
+		}
+		var maxReown float64
+		for _, rs := range r.states {
+			if rs.pendingReownNs > maxReown {
+				maxReown = rs.pendingReownNs
+			}
+		}
+		mttrNs += (floor - f.AtNs) + maxReown
 		r.W.PrepareRecovery()
 		err = r.W.TryRun(func(p *mpi.Proc) {
-			rs := r.states[p.Rank()]
+			rs := r.states[r.posOf[p.Rank()]]
 			if st := rs.restoreCheckpoint(p, target, floor); st != nil {
 				rs.levelLoop(p, st)
 			} else {
@@ -436,7 +516,10 @@ func (r *Runner) RunRoot(root int64) RootResult {
 			}
 		})
 	}
-	res := RootResult{Root: root, TimeNs: r.W.MaxClock(), Faults: faults}
+	res := RootResult{
+		Root: root, TimeNs: r.W.MaxClock(), Faults: faults,
+		MTTRNs: mttrNs, Epoch: r.W.Epoch(),
+	}
 	var bd trace.Breakdown
 	for _, rs := range r.states {
 		res.TraversedEdges += rs.visitedEdges

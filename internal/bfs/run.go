@@ -30,10 +30,16 @@ func (rs *rankState) initRoot(p *mpi.Proc, root int64) *loopState {
 		rs.bd.Add(trace.Recovery, rs.pendingRecoveryNs)
 		rs.pendingRecoveryNs = 0
 	}
+	if rs.pendingReownNs > 0 {
+		// Survivor repartitioning before the first checkpoint: the re-own
+		// cost was parked by the shrink/promotion surgery.
+		rs.bd.Add(trace.Reown, rs.pendingReownNs)
+		rs.pendingReownNs = 0
+	}
 
 	lo := rs.csr.Lo
 	nfLocal, mfLocal := int64(0), int64(0)
-	if r.Part.Owner(root) == p.Rank() {
+	if r.Part.Owner(root) == rs.pos {
 		rs.parent[root-lo] = root
 		rs.next = append(rs.next, root)
 		rs.visitedCount = 1

@@ -24,7 +24,7 @@ func (rs *rankState) topDownLevel(p *mpi.Proc) (nf, mf int64) {
 	for i := range rs.send {
 		rs.send[i] = rs.send[i][:0]
 	}
-	me := p.Rank()
+	me := rs.pos
 	var edges, localTries, remote int64
 	for _, u := range rs.queue {
 		for _, v := range rs.csr.Neighbors(u) {

@@ -128,10 +128,25 @@ type Runner struct {
 	cfg machine.Config
 	pl  machine.Placement
 
-	blockSize int64 // vertices per block (n / np)
+	blockSize int64 // vertices per block (n / (R*C))
 
-	cols []*collective.Group // column group per j: ranks (0..R-1, j)
-	rows []*collective.Group // row group per i: ranks (i, 0..C-1)
+	// cellRank maps grid cell j*R+i to the world rank currently holding
+	// it, rankCell inverts it (-1 for parked spares and dead ranks). At
+	// construction the map is the identity over the first R*C ranks; a
+	// promotion rewrites one cell. The grid shape itself never changes —
+	// the 2-D engine supports spare/rerun recovery only, never a shrink
+	// (removing a cell would break the R x C factorization every
+	// expand/fold path depends on).
+	cellRank []int
+	rankCell []int
+	// spares are the parked hot-spare ranks still available, in rank
+	// order (world ranks beyond the grid when NewRunnerSpares asked for
+	// them).
+	spares []int
+
+	grid *collective.Group   // all grid cells, in cell order
+	cols []*collective.Group // column group per j: cells (0..R-1, j)
+	rows []*collective.Group // row group per i: cells (i, 0..C-1)
 
 	// colLayout/rowLayout split the column/row frontier bitmaps into
 	// per-member word segments for the bottom-up allgathers.
@@ -215,7 +230,10 @@ type rankState struct {
 
 	// pendingRecoveryNs carries the full-rerun crash-recovery cost (the
 	// detection-timeout floor) across reset(), which wipes bd.
+	// pendingReownNs carries the promoted spare's cell re-own transfer
+	// cost the same way (charged to the Reown phase).
 	pendingRecoveryNs float64
+	pendingReownNs    float64
 
 	// sent stamps deduplicate fold candidates: a vertex discovered by
 	// several local frontier sources is sent to its owner once per level
@@ -230,48 +248,130 @@ type rankState struct {
 	rec *obs.Rank
 }
 
-// NewRunner builds a 2-D runner. The placement policy fixes ranks per
-// node exactly as in the 1-D engine.
+// NewRunner builds a 2-D runner covering every rank of the placement.
+// The placement policy fixes ranks per node exactly as in the 1-D
+// engine.
 func NewRunner(cfg machine.Config, policy machine.Policy, grid Grid, params rmat.Params) (*Runner, error) {
+	return NewRunnerSpares(cfg, policy, grid, params, 0)
+}
+
+// NewRunnerSpares builds a 2-D runner with the last `spares` world ranks
+// parked as hot spares: the grid covers the first R*C ranks, and a
+// permanent crash promotes a spare into the dead rank's grid cell (the
+// cell→rank table is remapped; the grid shape and every block range are
+// untouched). With no spare left a permanent crash falls back to the
+// full-rerun recovery, like a transient one — the 2-D engine never
+// shrinks the grid.
+func NewRunnerSpares(cfg machine.Config, policy machine.Policy, grid Grid, params rmat.Params, spares int) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
+	if spares < 0 {
+		return nil, fmt.Errorf("bfs2d: negative spare count %d", spares)
+	}
 	pl := machine.PlacementFor(cfg, policy)
 	w := mpi.NewWorld(cfg, pl)
 	np := w.NumProcs()
-	if grid.R*grid.C != np {
-		return nil, fmt.Errorf("bfs2d: grid %dx%d does not match %d ranks", grid.R, grid.C, np)
+	if grid.R*grid.C != np-spares {
+		return nil, fmt.Errorf("bfs2d: grid %dx%d does not match %d ranks (%d spares)", grid.R, grid.C, np, spares)
 	}
+	cells := grid.R * grid.C
 	n := params.NumVertices()
-	if n%int64(np) != 0 {
-		return nil, fmt.Errorf("bfs2d: %d vertices not divisible by %d ranks", n, np)
+	if n%int64(cells) != 0 {
+		return nil, fmt.Errorf("bfs2d: %d vertices not divisible by %d grid cells", n, cells)
 	}
 	r := &Runner{
 		W: w, Grid: grid, Params: params,
 		cfg: cfg, pl: pl,
-		blockSize: n / int64(np),
+		blockSize: n / int64(cells),
 	}
-	r.cols = make([]*collective.Group, grid.C)
-	for j := 0; j < grid.C; j++ {
-		ranks := make([]int, grid.R)
-		for i := 0; i < grid.R; i++ {
-			ranks[i] = r.rankOf(i, j)
-		}
-		r.cols[j] = collective.NewGroup(w, ranks)
+	r.cellRank = make([]int, cells)
+	r.rankCell = make([]int, np)
+	for c := 0; c < cells; c++ {
+		r.cellRank[c], r.rankCell[c] = c, c
 	}
-	r.rows = make([]*collective.Group, grid.R)
-	for i := 0; i < grid.R; i++ {
-		ranks := make([]int, grid.C)
-		for j := 0; j < grid.C; j++ {
-			ranks[j] = r.rankOf(i, j)
-		}
-		r.rows[i] = collective.NewGroup(w, ranks)
+	for rank := cells; rank < np; rank++ {
+		r.rankCell[rank] = -1
+		r.spares = append(r.spares, rank)
 	}
+	if len(r.spares) > 0 {
+		w.Park(r.spares)
+	}
+	r.rebuildGroups()
 	r.states = make([]*rankState, np)
 	return r, nil
+}
+
+// rebuildGroups derives the grid, column and row groups from the
+// current cell→rank table. Called at construction and after a
+// promotion remapped a cell.
+func (r *Runner) rebuildGroups() {
+	r.grid = collective.NewGroup(r.W, r.cellRank)
+	r.cols = make([]*collective.Group, r.Grid.C)
+	for j := 0; j < r.Grid.C; j++ {
+		ranks := make([]int, r.Grid.R)
+		for i := 0; i < r.Grid.R; i++ {
+			ranks[i] = r.rankOf(i, j)
+		}
+		r.cols[j] = collective.NewGroup(r.W, ranks)
+	}
+	r.rows = make([]*collective.Group, r.Grid.R)
+	for i := 0; i < r.Grid.R; i++ {
+		ranks := make([]int, r.Grid.C)
+		for j := 0; j < r.Grid.C; j++ {
+			ranks[j] = r.rankOf(i, j)
+		}
+		r.rows[i] = collective.NewGroup(r.W, ranks)
+	}
+}
+
+// promote swaps an available spare into the dead rank's grid cell,
+// parking the modelled re-own cost of the spare adopting the cell's
+// state (adjacency and parent block) out of node scratch in the moved
+// state's pendingReownNs. Reports false — the caller reruns with the
+// dead rank in place — when no spare is left or the dead rank holds no
+// cell.
+func (r *Runner) promote(dead int, floor float64) bool {
+	if len(r.spares) == 0 || r.rankCell[dead] < 0 {
+		return false
+	}
+	// Prefer a spare on the dead rank's node (scratch adoption at
+	// shared-memory bandwidth); otherwise take the first one.
+	deadNode := dead / r.W.ProcsPerNode()
+	pick := 0
+	for k, s := range r.spares {
+		if s/r.W.ProcsPerNode() == deadNode {
+			pick = k
+			break
+		}
+	}
+	spare := r.spares[pick]
+	r.spares = append(r.spares[:pick], r.spares[pick+1:]...)
+
+	cell := r.rankCell[dead]
+	r.W.Promote(spare, dead)
+	r.cellRank[cell] = spare
+	r.rankCell[spare] = cell
+	r.rankCell[dead] = -1
+	r.rebuildGroups()
+
+	// The spare re-binds the cell's state wholesale; the 2-D recovery is
+	// a full rerun, so only the adjacency and the parent block move.
+	rs := r.states[dead]
+	r.states[spare], r.states[dead] = rs, nil
+	bytes := int64(len(rs.col))*8 + int64(len(rs.rowPtr))*8 + int64(len(rs.parent))*8
+	if spare/r.W.ProcsPerNode() == deadNode {
+		rs.pendingReownNs += float64(bytes) / r.cfg.ShmCopyBW
+	} else {
+		rs.pendingReownNs += r.cfg.InterNodeAlphaNs + float64(bytes)/r.cfg.PerStreamBW
+	}
+
+	r.W.Proc(spare).Obs().FaultEvent("promote", floor)
+	r.W.Proc(r.cellRank[0]).Obs().GaugeSet(obs.GaugeLiveRanks, floor, float64(len(r.cellRank)))
+	return true
 }
 
 // AttachObs routes the runner's world through an observability session
@@ -297,20 +397,25 @@ func (r *Runner) InjectFaults(plan fault.Plan) error {
 	return nil
 }
 
-// rankOf maps grid coordinates to a rank: grid rows vary fastest within
-// a processor column, and a column's R ranks are consecutive — on an
-// R-ranks-per-node placement a whole column lands on one node, giving
-// the expand phase intra-node communication.
-func (r *Runner) rankOf(i, j int) int { return j*r.Grid.R + i }
+// rankOf maps grid coordinates to the rank currently holding the cell:
+// grid rows vary fastest within a processor column, and at construction
+// a column's R ranks are consecutive — on an R-ranks-per-node placement
+// a whole column lands on one node, giving the expand phase intra-node
+// communication. A promotion may remap individual cells.
+func (r *Runner) rankOf(i, j int) int { return r.cellRank[j*r.Grid.R+i] }
 
-// gridOf inverts rankOf.
-func (r *Runner) gridOf(rank int) (i, j int) { return rank % r.Grid.R, rank / r.Grid.R }
+// gridOf returns the grid coordinates of the cell a rank holds; the
+// rank must hold one.
+func (r *Runner) gridOf(rank int) (i, j int) {
+	c := r.rankCell[rank]
+	return c % r.Grid.R, c / r.Grid.R
+}
 
 // block returns the block id owned by grid position (i, j).
 func (r *Runner) block(i, j int) int64 { return int64(j*r.Grid.R + i) }
 
 // ownerOf returns the rank owning vertex v's block.
-func (r *Runner) ownerOf(v int64) int { return int(v / r.blockSize) }
+func (r *Runner) ownerOf(v int64) int { return r.cellRank[v/r.blockSize] }
 
 // colRange returns the contiguous vertex range of processor column j.
 func (r *Runner) colRange(j int) (lo, hi int64) {

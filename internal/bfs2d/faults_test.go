@@ -324,3 +324,144 @@ func TestBFS2DFoldCompressionLedger(t *testing.T) {
 		t.Fatalf("uncompressed run accumulated wire stats: %+v", plain.Wire)
 	}
 }
+
+// TestPermanentCrashPromotesSpare2D: with hot spares parked, a
+// permanent rank death remaps the dead rank's grid cell onto a spare
+// and the rerun completes on the remapped grid — same traversal as the
+// clean spared run, bit-identical across repeats, with the detection
+// delay and the cell re-own cost in MTTR. A second permanent death
+// promotes again; with no spare left (the zero-spare runner) a
+// permanent crash falls back to rerun-in-place.
+func TestPermanentCrashPromotesSpare2D(t *testing.T) {
+	const scale = 12
+	params := rmat.Graph500(scale)
+	build := func() *Runner {
+		// 8 ranks, 4 parked spares: the 4 grid cells divide the 4096
+		// vertices evenly.
+		r, err := NewRunnerSpares(testConfig(scale, 2, 4), machine.PPN8Bind, Grid{R: 2, C: 2}, params, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Setup()
+		return r
+	}
+
+	clean := build()
+	root := params.Roots(1, clean.HasEdgeGlobal)[0]
+	cleanRes := clean.RunRoot(root)
+	if cleanRes.Epoch != 0 {
+		t.Fatalf("clean spared run stepped the epoch to %d", cleanRes.Epoch)
+	}
+
+	run := func() (*Runner, RootResult) {
+		r := build()
+		plan := fault.Plan{Crashes: []fault.Crash{{Rank: 2, AtNs: 0.5 * cleanRes.TimeNs, Permanent: true}}}
+		if err := r.InjectFaults(plan); err != nil {
+			t.Fatal(err)
+		}
+		return r, r.RunRoot(root)
+	}
+	r, res := run()
+	if len(res.Faults) != 1 || !res.Faults[0].Permanent {
+		t.Fatalf("Faults = %+v, want one permanent crash", res.Faults)
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("epoch %d after one promotion, want 1", res.Epoch)
+	}
+	if res.MTTRNs <= 0 {
+		t.Errorf("MTTRNs = %g, want > 0", res.MTTRNs)
+	}
+	if res.Breakdown.Ns[trace.Reown] <= 0 {
+		t.Errorf("no Reown time in the breakdown")
+	}
+	if res.Visited != cleanRes.Visited || res.TraversedEdges != cleanRes.TraversedEdges {
+		t.Fatalf("traversal differs: %d/%d vs clean %d/%d",
+			res.Visited, res.TraversedEdges, cleanRes.Visited, cleanRes.TraversedEdges)
+	}
+	// The grid shape and every block range survive the remap, and the
+	// rerun replays the clean schedule: parent trees are bit-identical.
+	cp, rp := clean.Parents(), r.Parents()
+	for v := range rp {
+		if rp[v] != cp[v] {
+			t.Fatalf("parent of %d differs after promotion: %d vs %d", v, rp[v], cp[v])
+		}
+	}
+	// Bit-identical across repeats.
+	r2, res2 := run()
+	if s1, s2 := signature2d(r, res), signature2d(r2, res2); s1 != s2 {
+		t.Fatalf("promoted run not deterministic:\n1st %.160s...\n2nd %.160s...", s1, s2)
+	}
+
+	// Two permanent deaths, two promotions.
+	r3 := build()
+	if err := r3.InjectFaults(fault.Plan{Crashes: []fault.Crash{
+		{Rank: 2, AtNs: 0.5 * cleanRes.TimeNs, Permanent: true},
+		{Rank: 1, AtNs: 0.6 * cleanRes.TimeNs, Permanent: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res3 := r3.RunRoot(root)
+	if len(res3.Faults) != 2 || res3.Epoch != 2 {
+		t.Fatalf("two permanent crashes: faults %d, epoch %d, want 2/2", len(res3.Faults), res3.Epoch)
+	}
+	if res3.Visited != cleanRes.Visited {
+		t.Fatalf("visited %d vs clean %d", res3.Visited, cleanRes.Visited)
+	}
+
+	// No spares: a permanent crash falls back to the historical
+	// rerun-in-place, epoch untouched.
+	r4, err := NewRunner(testConfig(scale, 2, 4), machine.PPN8Bind, Grid{R: 2, C: 4}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Setup()
+	if err := r4.InjectFaults(fault.Plan{Crashes: []fault.Crash{
+		{Rank: 2, AtNs: 0.5 * cleanRes.TimeNs, Permanent: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res4 := r4.RunRoot(root)
+	if len(res4.Faults) != 1 || res4.Epoch != 0 {
+		t.Fatalf("no-spare fallback: faults %d, epoch %d, want 1/0", len(res4.Faults), res4.Epoch)
+	}
+}
+
+// TestSpareGridValidates2D: the Graph500 tree rules hold on the
+// remapped grid, including when cell 0 itself is remapped (the
+// cell→rank table, not rank arithmetic, must drive block ownership).
+func TestSpareGridValidates2D(t *testing.T) {
+	const scale = 12
+	params := rmat.Graph500(scale)
+	r, err := NewRunnerSpares(testConfig(scale, 2, 4), machine.PPN8Bind, Grid{R: 2, C: 2}, params, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Setup()
+	root := params.Roots(1, r.HasEdgeGlobal)[0]
+	probe := r.RunRoot(root)
+	if err := r.InjectFaults(fault.Plan{Crashes: []fault.Crash{
+		{Rank: 0, AtNs: 0.4 * probe.TimeNs, Permanent: true}, // cell 0 dies: cellRank[0] remaps
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res := r.RunRoot(root)
+	if res.Epoch != 1 {
+		t.Fatalf("epoch %d, want 1", res.Epoch)
+	}
+	parent, level := r.Parents(), r.Levels(root)
+	if parent[root] != root || level[root] != 0 {
+		t.Fatalf("root: parent %d level %d", parent[root], level[root])
+	}
+	for v := int64(0); v < int64(len(parent)); v++ {
+		pv := parent[v]
+		if pv < 0 || v == root {
+			continue
+		}
+		if !r.HasEdge(v, pv) {
+			t.Fatalf("tree edge (%d, %d) is not a graph edge", v, pv)
+		}
+		if level[v] != level[pv]+1 {
+			t.Fatalf("vertex %d at level %d, parent %d at level %d", v, level[v], pv, level[pv])
+		}
+	}
+}

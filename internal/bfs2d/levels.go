@@ -15,25 +15,26 @@ func (r *Runner) HasEdgeGlobal(v int64) bool {
 	return false
 }
 
-// ParentArrays returns the live per-rank owned parent blocks, indexed
-// by rank (entries are owner-relative, block k covering vertices
+// ParentArrays returns the live owned parent blocks, indexed by grid
+// cell (entries are owner-relative, cell k covering vertices
 // [k*BlockSize, (k+1)*BlockSize)). Exposed for the external validator
-// and its corruption tests, mirroring the 1-D engine.
+// and its corruption tests, mirroring the 1-D engine. At construction
+// cell k is held by rank k; a promotion remaps the cell, not the block.
 func (r *Runner) ParentArrays() [][]int64 {
-	out := make([][]int64, len(r.states))
-	for k, rs := range r.states {
-		out[k] = rs.parent
+	out := make([][]int64, len(r.cellRank))
+	for c, rank := range r.cellRank {
+		out[c] = r.states[rank].parent
 	}
 	return out
 }
 
-// Parents assembles the global parent array from the per-rank blocks
+// Parents assembles the global parent array from the per-cell blocks
 // left by the last RunRoot (-1 for unreached vertices).
 func (r *Runner) Parents() []int64 {
 	parent := make([]int64, r.Params.NumVertices())
-	for rank, rs := range r.states {
-		lo := int64(rank) * r.blockSize
-		copy(parent[lo:lo+r.blockSize], rs.parent)
+	for c, rank := range r.cellRank {
+		lo := int64(c) * r.blockSize
+		copy(parent[lo:lo+r.blockSize], r.states[rank].parent)
 	}
 	return parent
 }
@@ -110,11 +111,12 @@ func (r *Runner) HasEdge(u, v int64) bool {
 }
 
 // EachStoredEdge calls f for every directed adjacency (u, v) stored at
-// grid rank `rank`. Together with HasEdge this is what an external
-// validator needs to check the full Graph500 rule set without reaching
-// into the CSR layout.
-func (r *Runner) EachStoredEdge(rank int, f func(u, v int64)) {
-	rs := r.states[rank]
+// grid cell `cell` (== the holding rank until a promotion remaps it).
+// Together with HasEdge this is what an external validator needs to
+// check the full Graph500 rule set without reaching into the CSR
+// layout.
+func (r *Runner) EachStoredEdge(cell int, f func(u, v int64)) {
+	rs := r.states[r.cellRank[cell]]
 	cLo, _ := r.colRange(rs.j)
 	for rel := int64(0); rel < int64(len(rs.rowPtr))-1; rel++ {
 		for _, v := range rs.col[rs.rowPtr[rel]:rs.rowPtr[rel+1]] {

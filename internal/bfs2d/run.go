@@ -48,6 +48,13 @@ type RootResult struct {
 	// CommBytes/RawCommBytes and Wire include the lost attempts'
 	// partial traffic, as in the 1-D engine.
 	Faults []*mpi.FaultError
+	// MTTRNs is the summed modelled repair time of the survived faults:
+	// detection delay (crash to heartbeat-lease expiry) plus the cell
+	// re-own transfer when a spare was promoted.
+	MTTRNs float64
+	// Epoch is the world-view number the iteration finished in: 0 until
+	// a promotion replaced a permanently dead rank.
+	Epoch int
 }
 
 // RunRoot runs one 2-D BFS from root. Rank clocks are reset, so TimeNs
@@ -55,13 +62,15 @@ type RootResult struct {
 // iteration recovers by rerunning from the root with clocks floored at
 // crash-detection time (the 2-D engine keeps no checkpoints).
 func (r *Runner) RunRoot(root int64) RootResult {
-	if len(r.states) == 0 || r.states[0] == nil {
+	if len(r.states) == 0 || r.states[r.cellRank[0]] == nil {
 		panic("bfs2d: RunRoot before Setup")
 	}
 	r.W.ResetClocks()
-	all := collective.WorldGroup(r.W)
 	for _, rs := range r.states {
-		rs.pendingRecoveryNs = 0
+		if rs == nil {
+			continue
+		}
+		rs.pendingRecoveryNs, rs.pendingReownNs = 0, 0
 		for _, c := range []*wire.Codec{rs.codec, rs.foldCodec, rs.colCodec, rs.rowCodec} {
 			if c != nil {
 				c.ResetStats()
@@ -69,9 +78,10 @@ func (r *Runner) RunRoot(root int64) RootResult {
 		}
 	}
 	var faults []*mpi.FaultError
+	var mttrNs float64
 	err := r.W.TryRun(func(p *mpi.Proc) {
 		rs := r.states[p.Rank()]
-		rs.run(p, all, root)
+		rs.run(p, r.grid, root)
 	})
 	for attempt := 0; err != nil; attempt++ {
 		f, ok := err.(*mpi.FaultError)
@@ -79,25 +89,52 @@ func (r *Runner) RunRoot(root int64) RootResult {
 			panic(err)
 		}
 		faults = append(faults, f)
-		r.W.Injector().Disarm(f.Rank, f.AtNs)
-		floor := f.AtNs + r.W.Injector().DetectTimeoutNs()
+		inj := r.W.Injector()
+		inj.Disarm(f.Rank, f.AtNs)
+		var floor float64
+		if f.Permanent {
+			// Permanent death: the survivors learn of it when the dead
+			// rank's heartbeat lease expires. With a spare available its
+			// grid cell is remapped; otherwise the dead rank reruns in
+			// place (the 2-D engine never shrinks the grid).
+			floor = inj.DetectionTimeNs(f.AtNs)
+			r.W.Proc(f.Rank).Obs().FaultEvent("detect", floor)
+			r.promote(f.Rank, floor)
+		} else {
+			floor = f.AtNs + inj.DetectTimeoutNs()
+		}
+		var maxReown float64
+		for _, rs := range r.states {
+			if rs != nil && rs.pendingReownNs > maxReown {
+				maxReown = rs.pendingReownNs
+			}
+		}
+		mttrNs += (floor - f.AtNs) + maxReown
 		r.W.PrepareRecovery()
 		err = r.W.TryRun(func(p *mpi.Proc) {
 			rs := r.states[p.Rank()]
-			// Full-rerun recovery: clocks restart at the detection floor,
-			// and the floor is charged to the Recovery phase once run()'s
-			// reset has wiped the breakdown.
-			p.RestoreClock(floor)
+			// Full-rerun recovery: clocks restart at the detection floor
+			// (plus any parked cell re-own transfer), and the floor is
+			// charged to the Recovery phase once run()'s reset has wiped
+			// the breakdown.
+			p.RestoreClock(floor + rs.pendingReownNs)
 			rs.pendingRecoveryNs = floor
 			rec := p.Obs()
 			rec.PhaseSpan(trace.Recovery, 0, 0, floor)
 			rec.FaultEvent("recover", floor)
-			rs.run(p, all, root)
+			rs.run(p, r.grid, root)
 		})
 	}
-	res := RootResult{Root: root, TimeNs: r.W.MaxClock(), Faults: faults}
+	res := RootResult{
+		Root: root, TimeNs: r.W.MaxClock(), Faults: faults,
+		MTTRNs: mttrNs, Epoch: r.W.Epoch(),
+	}
+	cells := r.Grid.R * r.Grid.C
 	var bd trace.Breakdown
 	for _, rs := range r.states {
+		if rs == nil {
+			continue
+		}
 		bd.Merge(rs.bd)
 		for _, pa := range rs.parent {
 			if pa >= 0 {
@@ -111,6 +148,9 @@ func (r *Runner) RunRoot(root int64) RootResult {
 	// Traversed edges: sum local adjacencies whose source was visited;
 	// every undirected edge is stored twice across the grid.
 	for _, rs := range r.states {
+		if rs == nil {
+			continue
+		}
 		cLo, cHi := r.colRange(rs.j)
 		for u := cLo; u < cHi; u++ {
 			if r.states[r.ownerOf(u)].parentOf(u) >= 0 {
@@ -119,17 +159,21 @@ func (r *Runner) RunRoot(root int64) RootResult {
 		}
 	}
 	res.TraversedEdges /= 2
-	bd.Scale(1 / float64(len(r.states)))
-	bd.TDLevels = r.states[0].bd.TDLevels
-	bd.BULevels = r.states[0].bd.BULevels
-	bd.BUCommCount = r.states[0].bd.BUCommCount
+	bd.Scale(1 / float64(cells))
+	cell0 := r.states[r.cellRank[0]]
+	bd.TDLevels = cell0.bd.TDLevels
+	bd.BULevels = cell0.bd.BULevels
+	bd.BUCommCount = cell0.bd.BUCommCount
 	res.Breakdown = bd
-	res.LevelStats = append([]trace.LevelStat(nil), r.states[0].levelStats...)
+	res.LevelStats = append([]trace.LevelStat(nil), cell0.levelStats...)
 	vol := r.W.Net().Volume()
 	res.CommBytes = vol.IntraBytes + vol.InterBytes
 	res.RawCommBytes = vol.RawIntraBytes + vol.RawInterBytes
 	res.Xport = vol.Xport
 	for _, rs := range r.states {
+		if rs == nil {
+			continue
+		}
 		for _, c := range []*wire.Codec{rs.codec, rs.foldCodec, rs.colCodec, rs.rowCodec} {
 			if c != nil {
 				res.Wire.Add(c.Stats())
@@ -160,6 +204,11 @@ func (rs *rankState) run(p *mpi.Proc, all *collective.Group, root int64) {
 	if rs.pendingRecoveryNs > 0 {
 		rs.bd.Add(trace.Recovery, rs.pendingRecoveryNs)
 		rs.pendingRecoveryNs = 0
+	}
+	if rs.pendingReownNs > 0 {
+		rs.bd.Add(trace.Reown, rs.pendingReownNs)
+		rs.rec.PhaseSpan(trace.Reown, 0, p.Clock()-rs.pendingReownNs, p.Clock())
+		rs.pendingReownNs = 0
 	}
 
 	lo := rs.ownLo()

@@ -36,21 +36,23 @@ func (r *Runner) Setup() {
 		r.colLayout = collective.EvenLayout(colWords, r.Grid.R)
 		r.rowLayout = collective.EvenLayout(rowWords, r.Grid.C)
 	}
-	all := collective.WorldGroup(r.W)
+	// Generation and routing are indexed by grid cell, not world rank:
+	// with spares parked only the grid ranks run, and at zero spares
+	// cell == rank so the historical slicing is reproduced exactly.
 	r.W.Run(func(p *mpi.Proc) {
 		cfg := r.cfg
-		np := r.W.NumProcs()
+		cells := r.Grid.R * r.Grid.C
 		me := p.Rank()
+		cell := int64(r.rankCell[me])
 		ne := r.Params.NumEdges()
-		lo := ne * int64(me) / int64(np)
-		hi := ne * int64(me+1) / int64(np)
+		lo := ne * cell / int64(cells)
+		hi := ne * (cell + 1) / int64(cells)
 
-		send := make([][]int64, np)
+		send := make([][]int64, cells)
 		route := func(u, v int64) {
 			j := int(u / (int64(r.Grid.R) * r.blockSize))
 			i := int(v/r.blockSize) % r.Grid.R
-			d := r.rankOf(i, j)
-			send[d] = append(send[d], u, v)
+			send[j*r.Grid.R+i] = append(send[j*r.Grid.R+i], u, v)
 		}
 		for e := lo; e < hi; e++ {
 			u, v := r.Params.EdgeAt(e)
@@ -62,7 +64,7 @@ func (r *Runner) Setup() {
 		}
 		p.Compute(float64(hi-lo) * float64(r.Params.Scale) * 6 * cfg.CPUOpNs)
 
-		recv := all.AlltoallvInt64(p, send)
+		recv := r.grid.AlltoallvInt64(p, send)
 
 		i, j := r.gridOf(me)
 		cLo, cHi := r.colRange(j)
@@ -142,7 +144,9 @@ func (r *Runner) Setup() {
 	r.W.ResetClocks()
 	r.totalEdges = 0
 	for _, rs := range r.states {
-		r.totalEdges += int64(len(rs.col))
+		if rs != nil {
+			r.totalEdges += int64(len(rs.col))
+		}
 	}
 }
 

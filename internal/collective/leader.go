@@ -1,60 +1,148 @@
 package collective
 
 import (
+	"fmt"
+
 	"numabfs/internal/mpi"
 	"numabfs/internal/wire"
 )
 
 // NodeComm holds the group structure the paper's node-aware allgather
-// variants need: per-node groups (leader = local rank 0), the leader
-// group, and per-local-index subgroups for the parallelized allgather.
+// variants need: per-node groups (leader = the node's first member), the
+// leader group, and per-member-index subgroups for the parallelized
+// allgather. Membership is explicit — a NodeComm can be built over any
+// subset of the world's ranks (survivors after a shrink, actives with
+// spares parked), and over the full world it reproduces the historical
+// arithmetic shapes exactly: leader n*ppn, children in ascending order,
+// subgroup j = the ranks with local index j.
 type NodeComm struct {
-	World   *Group   // all ranks
-	Nodes   []*Group // group of each node's ranks, leader first
-	Leaders *Group   // one leader per node
-	Subs    []*Group // subgroup j: the ranks with local index j, across nodes
-	PPN     int
+	World   *Group   // the member ranks, in member order
+	Nodes   []*Group // per physical node: its members (nil when none)
+	Leaders *Group   // one leader per populated node, ascending node order
+	Subs    []*Group // subgroup j: each node's j-th member (see subRange)
+	PPN     int      // largest member population on any node
+
+	members   [][]int // per node: member ranks in member order
+	leaderOf  []int   // per node: leader rank, -1 when unpopulated
+	idxOnNode []int   // per rank: index in its node's member list, -1 outside
+	nodeFirst []int   // per node: World position of its first member, -1
+	nodePos   []int   // per node: position in Leaders, -1 when unpopulated
 }
 
-// NewNodeComm builds the node communicator structure of world w.
+// NewNodeComm builds the node communicator over all ranks of world w.
 func NewNodeComm(w *mpi.World) *NodeComm {
-	ppn := w.ProcsPerNode()
+	ranks := make([]int, w.NumProcs())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return NewNodeCommRanks(w, ranks)
+}
+
+// NewNodeCommRanks builds the node communicator over an explicit member
+// list (in group order). Each node's members must be contiguous in the
+// list so that a node's buffer segments concatenate — true for the block
+// rank placement, and preserved by survivor repartitioning.
+func NewNodeCommRanks(w *mpi.World, ranks []int) *NodeComm {
 	nodes := w.Config().Nodes
-	nc := &NodeComm{World: WorldGroup(w), PPN: ppn}
-	leaders := make([]int, 0, nodes)
-	nc.Nodes = make([]*Group, nodes)
+	np := w.NumProcs()
+	nc := &NodeComm{
+		World:     NewGroup(w, ranks),
+		members:   make([][]int, nodes),
+		leaderOf:  make([]int, nodes),
+		idxOnNode: make([]int, np),
+		nodeFirst: make([]int, nodes),
+		nodePos:   make([]int, nodes),
+	}
+	for r := range nc.idxOnNode {
+		nc.idxOnNode[r] = -1
+	}
 	for n := 0; n < nodes; n++ {
-		ranks := make([]int, ppn)
-		for j := 0; j < ppn; j++ {
-			ranks[j] = n*ppn + j
+		nc.leaderOf[n], nc.nodeFirst[n], nc.nodePos[n] = -1, -1, -1
+	}
+	for pos, r := range ranks {
+		n := w.Proc(r).Node()
+		if nc.nodeFirst[n] == -1 {
+			nc.nodeFirst[n] = pos
 		}
-		nc.Nodes[n] = NewGroup(w, ranks)
-		leaders = append(leaders, ranks[0])
+		if nc.nodeFirst[n]+len(nc.members[n]) != pos {
+			panic(fmt.Sprintf("collective: node %d's members are not contiguous in the member list", n))
+		}
+		nc.idxOnNode[r] = len(nc.members[n])
+		nc.members[n] = append(nc.members[n], r)
+	}
+	nc.Nodes = make([]*Group, nodes)
+	var leaders []int
+	for n := 0; n < nodes; n++ {
+		if len(nc.members[n]) == 0 {
+			continue
+		}
+		nc.Nodes[n] = NewGroup(w, nc.members[n])
+		nc.leaderOf[n] = nc.members[n][0]
+		nc.nodePos[n] = len(leaders)
+		leaders = append(leaders, nc.members[n][0])
+		if len(nc.members[n]) > nc.PPN {
+			nc.PPN = len(nc.members[n])
+		}
 	}
 	nc.Leaders = NewGroup(w, leaders)
-	nc.Subs = make([]*Group, ppn)
-	for j := 0; j < ppn; j++ {
-		ranks := make([]int, nodes)
+	// Subgroup j holds each node's j-th member; a node with fewer than
+	// j+1 members is covered by its last member standing in (it carries
+	// the leftover subs sequentially, contributing zero words — see
+	// subLayout — so shorter nodes still receive every segment).
+	nc.Subs = make([]*Group, nc.PPN)
+	for j := 0; j < nc.PPN; j++ {
+		var rs []int
 		for n := 0; n < nodes; n++ {
-			ranks[n] = n*ppn + j
+			if cnt := len(nc.members[n]); cnt > 0 {
+				if j < cnt {
+					rs = append(rs, nc.members[n][j])
+				} else {
+					rs = append(rs, nc.members[n][cnt-1])
+				}
+			}
 		}
-		nc.Subs[j] = NewGroup(w, ranks)
+		nc.Subs[j] = NewGroup(w, rs)
 	}
 	return nc
 }
 
-// nodeLayout aggregates a per-rank layout into a per-node layout for the
-// leader allgather: node n contributes the concatenation of its ranks'
-// segments (which are contiguous under the block rank placement).
+// IsLeader reports whether p is its node's leader.
+func (nc *NodeComm) IsLeader(p *mpi.Proc) bool { return nc.leaderOf[p.Node()] == p.Rank() }
+
+// subRange returns the subgroup indices rank p drives: its own member
+// index, plus — when it is its node's last member — every leftover sub it
+// stands in for. The rings run sequentially in ascending index; every
+// member orders them the same way, so the pipeline of rendezvous
+// mailboxes can never deadlock across rings.
+func (nc *NodeComm) subRange(p *mpi.Proc) (lo, hi int) {
+	i := nc.idxOnNode[p.Rank()]
+	if i == len(nc.members[p.Node()])-1 {
+		return i, nc.PPN - 1
+	}
+	return i, i
+}
+
+// nodeStreams returns the concurrent subgroup stream count p's node
+// drives — its member population (PPN at full membership).
+func (nc *NodeComm) nodeStreams(p *mpi.Proc) int { return len(nc.members[p.Node()]) }
+
+// nodeLayout aggregates a per-member layout into a per-populated-node
+// layout (indexed by Leaders position) for the leader allgather: node n
+// contributes the concatenation of its members' segments (contiguous by
+// the member-list invariant).
 func (nc *NodeComm) nodeLayout(l Layout) Layout {
-	nodes := len(nc.Nodes)
-	counts := make([]int64, nodes)
-	displs := make([]int64, nodes)
-	for n := 0; n < nodes; n++ {
-		first := n * nc.PPN
-		displs[n] = l.Displs[first]
-		for j := 0; j < nc.PPN; j++ {
-			counts[n] += l.Counts[first+j]
+	populated := nc.Leaders.Size()
+	counts := make([]int64, populated)
+	displs := make([]int64, populated)
+	for n := range nc.members {
+		pos := nc.nodePos[n]
+		if pos < 0 {
+			continue
+		}
+		first := nc.nodeFirst[n]
+		displs[pos] = l.Displs[first]
+		for j := range nc.members[n] {
+			counts[pos] += l.Counts[first+j]
 		}
 	}
 	return Layout{Counts: counts, Displs: displs}
@@ -81,7 +169,7 @@ func (t *StepTimes) add(o StepTimes) {
 // al.): gather each node's segments to its leader, ring-allgather between
 // leaders, broadcast the full buffer back to the children. buf is each
 // rank's private full-size buffer with its own segment (layout l, indexed
-// by world group position = rank) already in place.
+// by world group position) already in place.
 func (nc *NodeComm) LeaderAllgather(p *mpi.Proc, buf []uint64, l Layout) StepTimes {
 	var st StepTimes
 	node := nc.Nodes[p.Node()]
@@ -91,7 +179,7 @@ func (nc *NodeComm) LeaderAllgather(p *mpi.Proc, buf []uint64, l Layout) StepTim
 	node.GatherBinomial(p, buf, nc.localView(l, p.Node()), 0)
 	st.GatherNs = p.Clock() - t0
 
-	if p.LocalRank() == 0 {
+	if nc.IsLeader(p) {
 		t0 = p.Clock()
 		nc.Leaders.AllgatherRing(p, buf, nc.nodeLayout(l))
 		st.InterNs = p.Clock() - t0
@@ -104,13 +192,14 @@ func (nc *NodeComm) LeaderAllgather(p *mpi.Proc, buf []uint64, l Layout) StepTim
 	return st
 }
 
-// localView returns the layout of node n's ranks as a group-local layout
-// (positions 0..ppn-1), still addressing the full buffer.
+// localView returns the layout of node n's members as a group-local
+// layout (positions 0..cnt-1), still addressing the full buffer.
 func (nc *NodeComm) localView(l Layout, n int) Layout {
-	first := n * nc.PPN
+	first := nc.nodeFirst[n]
+	cnt := len(nc.members[n])
 	return Layout{
-		Counts: l.Counts[first : first+nc.PPN],
-		Displs: l.Displs[first : first+nc.PPN],
+		Counts: l.Counts[first : first+cnt],
+		Displs: l.Displs[first : first+cnt],
 	}
 }
 
@@ -130,21 +219,21 @@ func (nc *NodeComm) SharedInQueueAllgather(p *mpi.Proc, shared []uint64, seg []u
 	// compute phase already (seg aliases shared for the leader when the
 	// caller stages directly; otherwise copy here).
 	t0 := p.Clock()
-	if p.LocalRank() == 0 {
+	mine := nc.members[p.Node()]
+	if nc.IsLeader(p) {
 		copy(l.seg(shared, me), seg)
 		p.Compute(float64(len(seg)*8) / p.World().Config().ShmCopyBW)
-		for j := 1; j < nc.PPN; j++ {
-			child := p.Rank() + j
+		for _, child := range mine[1:] {
 			m := p.Recv(child, tagGather)
 			copy(l.seg(shared, nc.World.Pos(child)), m.Payload.([]uint64))
 		}
 	} else {
 		// Children copy concurrently; the leader serializes receives.
-		p.Send(p.Rank()-p.LocalRank(), tagGather, int64(len(seg))*8, seg, nc.PPN-1)
+		p.Send(nc.leaderOf[p.Node()], tagGather, int64(len(seg))*8, seg, len(mine)-1)
 	}
 	st.GatherNs = p.Clock() - t0
 
-	if p.LocalRank() == 0 {
+	if nc.IsLeader(p) {
 		t0 = p.Clock()
 		nc.Leaders.AllgatherRing(p, shared, nc.nodeLayout(l))
 		st.InterNs = p.Clock() - t0
@@ -170,11 +259,11 @@ func (nc *NodeComm) SharedAllAgather(p *mpi.Proc, sharedIn, sharedOut []uint64, 
 	nl := nc.nodeLayout(l)
 	tc := p.Clock()
 
-	if p.LocalRank() == 0 {
+	if nc.IsLeader(p) {
 		// Copy the node's slice from the shared out region in place; this
 		// is a local memory copy, charged at shared-copy bandwidth.
 		t0 := p.Clock()
-		n := p.Node()
+		n := nc.nodePos[p.Node()]
 		copy(nl.seg(sharedIn, n), nl.seg(sharedOut, n))
 		p.Compute(float64(nl.Counts[n]*8) / p.World().Config().ShmCopyBW)
 		st.GatherNs = p.Clock() - t0
@@ -194,24 +283,26 @@ func (nc *NodeComm) SharedAllAgather(p *mpi.Proc, sharedIn, sharedOut []uint64, 
 	return st
 }
 
-// ParallelAllgather is the paper's Section III.B scheme (Fig. 7): the
-// ranks with local index j across all nodes form subgroup j; each
-// subgroup ring-allgathers its members' segments into the node-shared
-// buffer, all subgroups concurrently, so every NIC carries PPN streams.
-// Total traffic is m*(np/ppn - 1) — Eq. (2). seg is the rank's own
-// segment (copied into the shared buffer first).
+// ParallelAllgather is the paper's Section III.B scheme (Fig. 7): each
+// node's j-th members across all nodes form subgroup j; each subgroup
+// ring-allgathers its members' segments into the node-shared buffer, all
+// subgroups concurrently, so every NIC carries PPN streams. Total traffic
+// is m*(np/ppn - 1) — Eq. (2). seg is the rank's own segment (copied into
+// the shared buffer first).
 func (nc *NodeComm) ParallelAllgather(p *mpi.Proc, shared []uint64, seg []uint64, l Layout) StepTimes {
 	var st StepTimes
 	me := nc.World.Pos(p.Rank())
 	node := nc.Nodes[p.Node()]
-	sub := nc.Subs[p.LocalRank()]
 	tc := p.Clock()
 
 	t0 := p.Clock()
 	copy(l.seg(shared, me), seg)
 	p.Compute(float64(l.Counts[me]*8) / p.World().Config().ShmCopyBW)
 
-	sub.allgatherRingStreams(p, shared, nc.subLayout(sub, l), nc.PPN)
+	lo, hi := nc.subRange(p)
+	for j := lo; j <= hi; j++ {
+		nc.Subs[j].allgatherRingStreams(p, shared, nc.subLayout(nc.Subs[j], l, j), nc.nodeStreams(p))
+	}
 	st.InterNs = p.Clock() - t0
 
 	t0 = p.Clock()
@@ -232,7 +323,7 @@ func (nc *NodeComm) SharedInPlaceAllgather(p *mpi.Proc, shared []uint64, l Layou
 	node := nc.Nodes[p.Node()]
 	t0 := p.Clock()
 	node.barrierVia(p)
-	if p.LocalRank() == 0 {
+	if nc.IsLeader(p) {
 		nc.Leaders.AllgatherRing(p, shared, nc.nodeLayout(l))
 	}
 	node.barrierVia(p)
@@ -246,11 +337,13 @@ func (nc *NodeComm) SharedInPlaceAllgather(p *mpi.Proc, shared []uint64, l Layou
 func (nc *NodeComm) ParallelAllgatherInPlace(p *mpi.Proc, shared []uint64, l Layout) StepTimes {
 	var st StepTimes
 	node := nc.Nodes[p.Node()]
-	sub := nc.Subs[p.LocalRank()]
 	tc := p.Clock()
 
 	t0 := p.Clock()
-	sub.allgatherRingStreams(p, shared, nc.subLayout(sub, l), nc.PPN)
+	lo, hi := nc.subRange(p)
+	for j := lo; j <= hi; j++ {
+		nc.Subs[j].allgatherRingStreams(p, shared, nc.subLayout(nc.Subs[j], l, j), nc.nodeStreams(p))
+	}
 	st.InterNs = p.Clock() - t0
 
 	t0 = p.Clock()
@@ -260,15 +353,20 @@ func (nc *NodeComm) ParallelAllgatherInPlace(p *mpi.Proc, shared []uint64, l Lay
 	return st
 }
 
-// subLayout returns the layout of a subgroup's members' segments
-// within the full buffer.
-func (nc *NodeComm) subLayout(sub *Group, l Layout) Layout {
+// subLayout returns the layout of subgroup j's members' segments within
+// the full buffer. A stand-in member (a short node's last member covering
+// a leftover sub, idxOnNode != j) contributes zero words: its real
+// segment travels in its own sub, so carrying it again would double-write
+// receivers' shared buffers.
+func (nc *NodeComm) subLayout(sub *Group, l Layout, j int) Layout {
 	counts := make([]int64, sub.Size())
 	displs := make([]int64, sub.Size())
 	for i, r := range sub.Ranks() {
 		wp := nc.World.Pos(r)
-		counts[i] = l.Counts[wp]
 		displs[i] = l.Displs[wp]
+		if nc.idxOnNode[r] == j {
+			counts[i] = l.Counts[wp]
+		}
 	}
 	return Layout{Counts: counts, Displs: displs}
 }
@@ -283,14 +381,16 @@ func (nc *NodeComm) ParallelAllgatherCompressed(p *mpi.Proc, shared []uint64, se
 	var st StepTimes
 	me := nc.World.Pos(p.Rank())
 	node := nc.Nodes[p.Node()]
-	sub := nc.Subs[p.LocalRank()]
 	tc := p.Clock()
 
 	t0 := p.Clock()
 	copy(l.seg(shared, me), seg)
 	p.Compute(float64(l.Counts[me]*8) / p.World().Config().ShmCopyBW)
 
-	sub.allgatherRingStreamsC(p, shared, nc.subLayout(sub, l), nc.PPN, c)
+	lo, hi := nc.subRange(p)
+	for j := lo; j <= hi; j++ {
+		nc.Subs[j].allgatherRingStreamsC(p, shared, nc.subLayout(nc.Subs[j], l, j), nc.nodeStreams(p), c)
+	}
 	st.InterNs = p.Clock() - t0
 
 	t0 = p.Clock()
@@ -306,11 +406,13 @@ func (nc *NodeComm) ParallelAllgatherCompressed(p *mpi.Proc, shared []uint64, se
 func (nc *NodeComm) ParallelAllgatherInPlaceCompressed(p *mpi.Proc, shared []uint64, l Layout, c *wire.Codec) StepTimes {
 	var st StepTimes
 	node := nc.Nodes[p.Node()]
-	sub := nc.Subs[p.LocalRank()]
 	tc := p.Clock()
 
 	t0 := p.Clock()
-	sub.allgatherRingStreamsC(p, shared, nc.subLayout(sub, l), nc.PPN, c)
+	lo, hi := nc.subRange(p)
+	for j := lo; j <= hi; j++ {
+		nc.Subs[j].allgatherRingStreamsC(p, shared, nc.subLayout(nc.Subs[j], l, j), nc.nodeStreams(p), c)
+	}
 	st.InterNs = p.Clock() - t0
 
 	t0 = p.Clock()
@@ -333,7 +435,7 @@ func (nc *NodeComm) LeaderAllgatherCompressed(p *mpi.Proc, buf []uint64, l Layou
 	node.GatherBinomial(p, buf, nc.localView(l, p.Node()), 0)
 	st.GatherNs = p.Clock() - t0
 
-	if p.LocalRank() == 0 {
+	if nc.IsLeader(p) {
 		t0 = p.Clock()
 		nc.Leaders.AllgatherRingCompressed(p, buf, nc.nodeLayout(l), c)
 		st.InterNs = p.Clock() - t0

@@ -36,17 +36,17 @@ func (nc *NodeComm) LeaderAllgatherPipelined(p *mpi.Proc, buf []uint64, l Layout
 	// the leader, which stages them.
 	t0 := p.Clock()
 	me := nc.World.Pos(p.Rank())
-	if p.LocalRank() == 0 {
+	mine := nc.members[p.Node()]
+	if nc.IsLeader(p) {
 		copy(l.seg(stage, me), l.seg(buf, me))
 		p.Compute(float64(l.Counts[me]*8) / cfg.ShmCopyBW)
-		for j := 1; j < nc.PPN; j++ {
-			child := p.Rank() + j
+		for _, child := range mine[1:] {
 			m := p.Recv(child, tagPipe-1)
 			copy(l.seg(stage, nc.World.Pos(child)), m.Payload.([]uint64))
 		}
 	} else {
 		seg := l.seg(buf, me)
-		p.Send(p.Rank()-p.LocalRank(), tagPipe-1, int64(len(seg))*8, seg, nc.PPN-1)
+		p.Send(nc.leaderOf[p.Node()], tagPipe-1, int64(len(seg))*8, seg, len(mine)-1)
 	}
 	st.GatherNs = p.Clock() - t0
 
@@ -58,23 +58,23 @@ func (nc *NodeComm) LeaderAllgatherPipelined(p *mpi.Proc, buf []uint64, l Layout
 	nNodes := nc.Leaders.Size()
 	notify := func(c int) {
 		t0 = p.Clock()
-		for j := 1; j < nc.PPN; j++ {
-			p.Send(p.Rank()+j, tagPipe+c, 0, nil, nc.PPN-1)
+		for _, child := range mine[1:] {
+			p.Send(child, tagPipe+c, 0, nil, len(mine)-1)
 		}
 		st.BcastNs += p.Clock() - t0
 	}
 	pull := func(c int) {
 		t0 = p.Clock()
-		p.Recv(p.Rank()-p.LocalRank(), tagPipe+c)
-		slice := (p.Node() - c + nNodes) % nNodes
+		p.Recv(nc.leaderOf[p.Node()], tagPipe+c)
+		slice := (nc.nodePos[p.Node()] - c + nNodes) % nNodes
 		lo, hi := nl.Displs[slice], nl.Displs[slice]+nl.Counts[slice]
 		copy(buf[lo:hi], stage[lo:hi])
 		// The node's children pull concurrently, sharing the memory
 		// system — the same contention the notify stream hint carries.
-		p.Compute(float64((hi-lo)*8) * float64(nc.PPN-1) / cfg.ShmCopyBW)
+		p.Compute(float64((hi-lo)*8) * float64(len(mine)-1) / cfg.ShmCopyBW)
 		st.BcastNs += p.Clock() - t0
 	}
-	if p.LocalRank() == 0 {
+	if nc.IsLeader(p) {
 		// The leader's own slice is available immediately.
 		notify(0)
 		meL := nc.Leaders.Pos(p.Rank())
@@ -101,7 +101,7 @@ func (nc *NodeComm) LeaderAllgatherPipelined(p *mpi.Proc, buf []uint64, l Layout
 	}
 	// The leader's result lives in the staging buffer; materialize it in
 	// its private view too (a no-cost aliasing in a real mapping).
-	if p.LocalRank() == 0 {
+	if nc.IsLeader(p) {
 		copy(buf, stage[:total])
 	}
 	node.barrierVia(p)

@@ -272,7 +272,6 @@ func (nc *NodeComm) parallelSegmented(p *mpi.Proc, shared []uint64, seg []uint64
 	var st StepTimes
 	me := nc.World.Pos(p.Rank())
 	node := nc.Nodes[p.Node()]
-	sub := nc.Subs[p.LocalRank()]
 	tc := p.Clock()
 	ov.reset()
 
@@ -280,7 +279,11 @@ func (nc *NodeComm) parallelSegmented(p *mpi.Proc, shared []uint64, seg []uint64
 	copy(l.seg(shared, me), seg)
 	p.Compute(float64(l.Counts[me]*8) / p.World().Config().ShmCopyBW)
 
-	sub.allgatherRingSegmented(p, shared, nc.subLayout(sub, l), nc.PPN, chunks, c, onChunk, ov)
+	lo, hi := nc.subRange(p)
+	for j := lo; j <= hi; j++ {
+		sub := nc.Subs[j]
+		sub.allgatherRingSegmented(p, shared, nc.subLayout(sub, l, j), nc.nodeStreams(p), chunks, c, onChunk, ov)
+	}
 	st.InterNs = p.Clock() - t0
 
 	t0 = p.Clock()

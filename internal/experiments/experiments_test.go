@@ -519,3 +519,41 @@ func TestLossTransportIdentityOnFigures(t *testing.T) {
 		}
 	}
 }
+
+func TestExtAvailabilityShape(t *testing.T) {
+	tab, err := ExtAvailability(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 optimization levels x 3 completion policies.
+	if len(tab.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != 6 {
+			t.Fatalf("%s: %d values, want 6", r.Label, len(r.Values))
+		}
+		for k := 0; k < 2; k++ {
+			teps, ratio, mttr := r.Values[3*k], r.Values[3*k+1], r.Values[3*k+2]
+			if teps <= 0 || teps >= 1 {
+				t.Errorf("%s x%d: retained TEPS %g, want in (0, 1): recovery costs time but completes", r.Label, k+1, teps)
+			}
+			if ratio < 1 {
+				t.Errorf("%s x%d: time ratio %g below 1 — a crash cannot speed the run up", r.Label, k+1, ratio)
+			}
+			if mttr <= 0 {
+				t.Errorf("%s x%d: MTTR %g ms, want positive (detection latency alone is nonzero)", r.Label, k+1, mttr)
+			}
+		}
+		// A second death costs at least as much repair and wall time. The
+		// time comparison gets a small tolerance: the second recovery
+		// rewinds every survivor to a synchronized checkpoint clock, which
+		// can erase accumulated skew worth a fraction of a percent.
+		if r.Values[4] < r.Values[1]*0.99 {
+			t.Errorf("%s: time ratio fell from %g to %g with a second crash", r.Label, r.Values[1], r.Values[4])
+		}
+		if r.Values[5] <= r.Values[2] {
+			t.Errorf("%s: MTTR fell from %g to %g ms with a second crash", r.Label, r.Values[2], r.Values[5])
+		}
+	}
+}

@@ -147,9 +147,16 @@ type Straggler struct {
 // crossing AtNs is truncated at it). The job aborts with a structured
 // *Error instead of an opaque panic, and a checkpointing caller can
 // recover and resume.
+//
+// Permanent marks the rank as never coming back: a transient crash
+// (the default) restarts the same rank from a checkpoint, while a
+// permanent one removes it from the world — the survivors must finish
+// without it, by shrinking the partition or promoting a hot spare
+// (bfs.Options.Recovery).
 type Crash struct {
-	Rank int     `json:"rank"`
-	AtNs float64 `json:"at_ns"`
+	Rank      int     `json:"rank"`
+	AtNs      float64 `json:"at_ns"`
+	Permanent bool    `json:"permanent,omitempty"`
 }
 
 // Plan is one deterministic perturbation schedule. The zero Plan
@@ -169,8 +176,23 @@ type Plan struct {
 	Crashes []Crash `json:"crashes,omitempty"`
 
 	// DetectTimeoutNs overrides DefaultDetectTimeoutNs for crash
-	// recovery; 0 keeps the default.
+	// recovery; 0 keeps the default. Merge precedence: the other plan's
+	// value wins when it sets one (> 0), otherwise the receiver's is
+	// kept — the same "o overrides when set" rule as the transport
+	// tuning fields below.
 	DetectTimeoutNs float64 `json:"detect_timeout_ns,omitempty"`
+
+	// HeartbeatPeriodNs is the modelled lease/heartbeat pitch of the
+	// failure detector used for *permanent* crashes: ranks renew a
+	// lease every HeartbeatPeriodNs of virtual time, and a permanent
+	// death is detected when the lease taken at the last renewal before
+	// the crash expires — DetectionTimeNs on the Injector. 0 derives
+	// the period as DetectTimeoutNs/4 (four missed beats per lease).
+	// Transient crashes keep the simpler historical AtNs +
+	// DetectTimeoutNs detection so existing plans reproduce exactly.
+	// Merge precedence: the other plan's value wins when set (> 0),
+	// like DetectTimeoutNs.
+	HeartbeatPeriodNs float64 `json:"heartbeat_period_ns,omitempty"`
 
 	// Loss makes links unreliable; any entry (even all-zero
 	// probabilities) switches the reliable transport on for inter-node
@@ -234,6 +256,9 @@ func (p Plan) Validate(ranks int) error {
 	if p.DetectTimeoutNs < 0 {
 		return fmt.Errorf("fault: negative DetectTimeoutNs %g", p.DetectTimeoutNs)
 	}
+	if p.HeartbeatPeriodNs < 0 {
+		return fmt.Errorf("fault: negative HeartbeatPeriodNs %g", p.HeartbeatPeriodNs)
+	}
 	for i, e := range p.Loss {
 		for _, f := range [...]struct {
 			name string
@@ -276,9 +301,15 @@ func (p Plan) Validate(ranks int) error {
 
 // Merge returns the union of p and o: concatenated event lists, o's
 // seed and tuning overrides when set, and the larger jitter bound.
+// Tuning fields (DetectTimeoutNs, HeartbeatPeriodNs, Retransmit*,
+// RetryBudget) follow one rule: o's value wins when o sets it (> 0),
+// otherwise p's survives — an unset field never erases a set one.
 // Crashes are deduplicated to the earliest per rank: both plans arming a
 // crash for the same rank must yield one fault and one recovery, not a
-// recovered run that immediately dies again to the later duplicate.
+// recovered run that immediately dies again to the later duplicate. The
+// kept crash's Permanent flag travels with it; on an exact AtNs tie a
+// permanent crash beats a transient one (losing a rank is the stronger
+// fault, and the tie must not depend on plan order).
 func (p Plan) Merge(o Plan) Plan {
 	m := Plan{
 		Seed:                p.Seed,
@@ -287,6 +318,7 @@ func (p Plan) Merge(o Plan) Plan {
 		JitterMaxNs:         math.Max(p.JitterMaxNs, o.JitterMaxNs),
 		Crashes:             dedupeCrashes(p.Crashes, o.Crashes),
 		DetectTimeoutNs:     p.DetectTimeoutNs,
+		HeartbeatPeriodNs:   p.HeartbeatPeriodNs,
 		Loss:                append(append([]Loss(nil), p.Loss...), o.Loss...),
 		RetransmitTimeoutNs: p.RetransmitTimeoutNs,
 		RetransmitBackoff:   p.RetransmitBackoff,
@@ -297,6 +329,9 @@ func (p Plan) Merge(o Plan) Plan {
 	}
 	if o.DetectTimeoutNs > 0 {
 		m.DetectTimeoutNs = o.DetectTimeoutNs
+	}
+	if o.HeartbeatPeriodNs > 0 {
+		m.HeartbeatPeriodNs = o.HeartbeatPeriodNs
 	}
 	if o.RetransmitTimeoutNs > 0 {
 		m.RetransmitTimeoutNs = o.RetransmitTimeoutNs
@@ -311,23 +346,25 @@ func (p Plan) Merge(o Plan) Plan {
 }
 
 // dedupeCrashes concatenates two crash lists keeping only the earliest
-// crash per rank, ordered by rank.
+// crash per rank, ordered by rank. The kept crash carries its Permanent
+// flag; on an exact time tie, permanent wins regardless of list order.
 func dedupeCrashes(a, b []Crash) []Crash {
 	n := len(a) + len(b)
 	if n == 0 {
 		return nil
 	}
-	earliest := make(map[int]float64, n)
+	earliest := make(map[int]Crash, n)
 	for _, list := range [2][]Crash{a, b} {
 		for _, c := range list {
-			if t, ok := earliest[c.Rank]; !ok || c.AtNs < t {
-				earliest[c.Rank] = c.AtNs
+			if k, ok := earliest[c.Rank]; !ok || c.AtNs < k.AtNs ||
+				(c.AtNs == k.AtNs && c.Permanent && !k.Permanent) {
+				earliest[c.Rank] = c
 			}
 		}
 	}
 	out := make([]Crash, 0, len(earliest))
-	for r, t := range earliest {
-		out = append(out, Crash{Rank: r, AtNs: t})
+	for _, c := range earliest {
+		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
 	return out
@@ -383,6 +420,10 @@ type Error struct {
 	Rank int       // the rank that died or gave up
 	AtNs float64   // the failure's virtual time
 	Kind ErrorKind // what happened; zero value is KindCrash
+	// Permanent marks a crash whose rank never returns (Crash.Permanent):
+	// recovery must shrink the world or promote a spare instead of
+	// restarting the same rank.
+	Permanent bool
 }
 
 // Error implements the error interface.
@@ -390,14 +431,18 @@ func (e *Error) Error() string {
 	if e.Kind == KindLinkLoss {
 		return fmt.Sprintf("fault: rank %d exhausted its retry budget at %.0f virtual ns (link peer unreachable)", e.Rank, e.AtNs)
 	}
+	if e.Permanent {
+		return fmt.Sprintf("fault: rank %d died permanently at %.0f virtual ns", e.Rank, e.AtNs)
+	}
 	return fmt.Sprintf("fault: rank %d crashed at %.0f virtual ns", e.Rank, e.AtNs)
 }
 
 // crashEvent is one scheduled crash with its armed state: disarmed
 // events (already recovered from) never fire again.
 type crashEvent struct {
-	at    float64
-	armed bool
+	at        float64
+	armed     bool
+	permanent bool
 }
 
 // Injector is a Plan compiled for one world. All query methods are safe
@@ -432,7 +477,7 @@ func NewInjector(plan Plan, ranks int) (*Injector, error) {
 	if len(plan.Crashes) > 0 {
 		in.crashes = make([][]crashEvent, ranks)
 		for _, c := range plan.Crashes {
-			in.crashes[c.Rank] = append(in.crashes[c.Rank], crashEvent{at: c.AtNs, armed: true})
+			in.crashes[c.Rank] = append(in.crashes[c.Rank], crashEvent{at: c.AtNs, armed: true, permanent: c.Permanent})
 		}
 		for r := range in.crashes {
 			evs := in.crashes[r]
@@ -601,6 +646,48 @@ func (in *Injector) NextCrash(rank int) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// CrashPermanent reports whether the armed crash scheduled for rank at
+// virtual time `at` is a permanent death (Crash.Permanent).
+func (in *Injector) CrashPermanent(rank int, at float64) bool {
+	if in == nil || in.crashes == nil || rank >= len(in.crashes) {
+		return false
+	}
+	for i := range in.crashes[rank] {
+		if in.crashes[rank][i].armed && in.crashes[rank][i].at == at {
+			return in.crashes[rank][i].permanent
+		}
+	}
+	return false
+}
+
+// HeartbeatPeriodNs returns the lease/heartbeat pitch of the permanent-
+// failure detector: the plan's value, or DetectTimeoutNs()/4 when unset
+// (four missed beats expire a lease).
+func (in *Injector) HeartbeatPeriodNs() float64 {
+	if in != nil && in.plan.HeartbeatPeriodNs > 0 {
+		return in.plan.HeartbeatPeriodNs
+	}
+	return in.DetectTimeoutNs() / 4
+}
+
+// DetectionTimeNs returns the virtual time at which the survivors
+// observe a permanent death that occurred at `at`, under the modelled
+// lease/heartbeat detector: the dead rank's last lease renewal was the
+// heartbeat boundary at or before `at`, and that lease expires
+// DetectTimeoutNs later. A misconfigured period (longer than the
+// timeout) can place the expiry before the crash itself; detection is
+// floored at at + DetectTimeoutNs so a death is never "detected" while
+// the rank was still alive renewing.
+func (in *Injector) DetectionTimeNs(at float64) float64 {
+	period := in.HeartbeatPeriodNs()
+	beat := math.Floor(at/period) * period
+	d := beat + in.DetectTimeoutNs()
+	if d < at {
+		d = at + in.DetectTimeoutNs()
+	}
+	return d
 }
 
 // Disarm retires the crash scheduled for rank at `at` so a recovered

@@ -512,3 +512,80 @@ func TestErrorKinds(t *testing.T) {
 		t.Errorf("link-loss message: %q", loss.Error())
 	}
 }
+
+// TestMergeDetectorTuningPrecedence pins the documented merge rule for
+// the failure-detector knobs: the argument's value wins when it sets one
+// (> 0), the receiver's survives otherwise, and an unset field never
+// erases a set one — in either direction.
+func TestMergeDetectorTuningPrecedence(t *testing.T) {
+	cases := []struct {
+		name                 string
+		a, b                 Plan
+		wantDetect, wantBeat float64
+	}{
+		{"both unset", Plan{}, Plan{}, 0, 0},
+		{"receiver only", Plan{DetectTimeoutNs: 5e5, HeartbeatPeriodNs: 1e5}, Plan{}, 5e5, 1e5},
+		{"argument only", Plan{}, Plan{DetectTimeoutNs: 7e5, HeartbeatPeriodNs: 2e5}, 7e5, 2e5},
+		{"argument wins conflict", Plan{DetectTimeoutNs: 5e5, HeartbeatPeriodNs: 1e5},
+			Plan{DetectTimeoutNs: 7e5, HeartbeatPeriodNs: 2e5}, 7e5, 2e5},
+		{"fields independent", Plan{DetectTimeoutNs: 5e5, HeartbeatPeriodNs: 1e5},
+			Plan{HeartbeatPeriodNs: 2e5}, 5e5, 2e5},
+	}
+	for _, tc := range cases {
+		m := tc.a.Merge(tc.b)
+		if m.DetectTimeoutNs != tc.wantDetect || m.HeartbeatPeriodNs != tc.wantBeat {
+			t.Errorf("%s: detect %g beat %g, want %g %g",
+				tc.name, m.DetectTimeoutNs, m.HeartbeatPeriodNs, tc.wantDetect, tc.wantBeat)
+		}
+	}
+	// Retry tuning follows the same rule, including the never-erase leg.
+	m := Plan{RetransmitTimeoutNs: 3, RetransmitBackoff: 2, RetryBudget: 4}.Merge(Plan{})
+	if m.RetransmitTimeoutNs != 3 || m.RetransmitBackoff != 2 || m.RetryBudget != 4 {
+		t.Errorf("empty argument erased retry tuning: %+v", m)
+	}
+}
+
+// TestMergeCrashTiePermanentWins: on an exact AtNs tie the permanent
+// crash must be kept regardless of which plan carries it — the tie must
+// not depend on merge order.
+func TestMergeCrashTiePermanentWins(t *testing.T) {
+	perm := Plan{Crashes: []Crash{{Rank: 1, AtNs: 100, Permanent: true}}}
+	trans := Plan{Crashes: []Crash{{Rank: 1, AtNs: 100}}}
+	for _, m := range []Plan{perm.Merge(trans), trans.Merge(perm)} {
+		if len(m.Crashes) != 1 || !m.Crashes[0].Permanent {
+			t.Fatalf("tie lost the permanent flag: %+v", m.Crashes)
+		}
+	}
+	// An earlier transient still beats a later permanent — earliest wins
+	// first, the flag only breaks exact ties.
+	early := Plan{Crashes: []Crash{{Rank: 1, AtNs: 50}}}
+	m := perm.Merge(early)
+	if len(m.Crashes) != 1 || m.Crashes[0].Permanent || m.Crashes[0].AtNs != 50 {
+		t.Fatalf("earliest-wins broken: %+v", m.Crashes)
+	}
+}
+
+// TestPermanentAndHeartbeatJSONRoundTrip: the robustness fields survive
+// the plan's JSON encoding, and a transient crash still omits them.
+func TestPermanentAndHeartbeatJSONRoundTrip(t *testing.T) {
+	p := Plan{
+		HeartbeatPeriodNs: 2.5e5,
+		DetectTimeoutNs:   1e6,
+		Crashes:           []Crash{{Rank: 2, AtNs: 1e6, Permanent: true}, {Rank: 5, AtNs: 3e6}},
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Plan
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.HeartbeatPeriodNs != p.HeartbeatPeriodNs || len(q.Crashes) != 2 ||
+		q.Crashes[0] != p.Crashes[0] || q.Crashes[1] != p.Crashes[1] {
+		t.Errorf("round trip lost data: %+v -> %s -> %+v", p, data, q)
+	}
+	if strings.Contains(string(data), `"permanent":false`) {
+		t.Errorf("transient crash serialized a permanent field: %s", data)
+	}
+}

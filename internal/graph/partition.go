@@ -17,6 +17,10 @@ type Partition struct {
 	N    int64
 	NP   int
 	offs []int64 // len NP+1; rank r owns [offs[r], offs[r+1])
+	// uniform marks the equal-chunk NewPartition shape, enabling
+	// Owner's single-division fast path; survivor repartitioning
+	// (RemoveRank) clears it and Owner binary-searches instead.
+	uniform bool
 }
 
 // NewPartition builds the partition. It panics if N < NP (every rank
@@ -36,20 +40,90 @@ func NewPartition(n int64, np int) Partition {
 		}
 		offs[r] = o
 	}
-	return Partition{N: n, NP: np, offs: offs}
+	return Partition{N: n, NP: np, offs: offs, uniform: true}
 }
 
-// Owner returns the rank owning vertex v.
+// Owner returns the rank owning vertex v. Uniform partitions (every
+// chunk the size of the first — the NewPartition shape) resolve with
+// one division; non-uniform ones (after RemoveRank merges a dead rank's
+// range into a neighbour) fall back to a binary search over the
+// boundaries.
 func (p Partition) Owner(v int64) int {
 	chunk := p.offs[1] - p.offs[0]
 	if chunk == 0 {
 		return 0
 	}
-	r := int(v / chunk)
-	if r >= p.NP {
-		r = p.NP - 1
+	if p.uniform {
+		r := int(v / chunk)
+		if r >= p.NP {
+			r = p.NP - 1
+		}
+		return r
 	}
-	return r
+	// Binary search: the largest r with offs[r] <= v.
+	lo, hi := 0, p.NP-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.offs[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// RemoveRank returns the partition with rank r's vertex range merged
+// into a contiguous neighbour, and the index of the surviving rank that
+// absorbed it (in the NEW partition's numbering). The predecessor
+// absorbs (drop the boundary below r); rank 0's range goes to its
+// successor. Every survivor keeps a contiguous, word-aligned range, so
+// the bitmap allgather layouts stay valid.
+func (p Partition) RemoveRank(r int) (Partition, int) {
+	if p.NP < 2 {
+		panic("graph: cannot remove the last rank of a partition")
+	}
+	if r < 0 || r >= p.NP {
+		panic(fmt.Sprintf("graph: RemoveRank(%d) outside [0, %d)", r, p.NP))
+	}
+	offs := make([]int64, 0, p.NP)
+	drop := r // drop boundary offs[r]: predecessor r-1 absorbs
+	absorber := r - 1
+	if r == 0 {
+		drop = 1 // drop offs[1]: successor absorbs, becoming new rank 0
+		absorber = 0
+	}
+	for i := range p.offs {
+		if i == drop {
+			continue
+		}
+		offs = append(offs, p.offs[i])
+	}
+	np := p.NP - 1
+	// The merged chunk breaks uniformity unless every chunk already
+	// matched it; recompute conservatively.
+	out := Partition{N: p.N, NP: np, offs: offs}
+	out.uniform = out.isUniform()
+	return out, absorber
+}
+
+// isUniform reports whether offs[r] == min(r*chunk, N) for every r —
+// the NewPartition shape Owner's division fast path requires.
+func (p Partition) isUniform() bool {
+	chunk := p.offs[1] - p.offs[0]
+	if chunk == 0 {
+		return true
+	}
+	for r := 0; r <= p.NP; r++ {
+		want := int64(r) * chunk
+		if want > p.N {
+			want = p.N
+		}
+		if p.offs[r] != want {
+			return false
+		}
+	}
+	return true
 }
 
 // Range returns the vertex range [lo, hi) owned by rank r.

@@ -36,6 +36,9 @@ type graphKey struct {
 	policy  machine.Policy
 	params  rmat.Params
 	dedup   bool
+	// spares changes the active member count and with it the partition,
+	// so per-rank CSR content differs per spare setting.
+	spares int
 }
 
 // graphEntry is one cache slot. ready is closed when the leader commits
@@ -59,7 +62,10 @@ func (c *GraphCache) Stats() (hits, misses int64) {
 }
 
 func cacheKeyOf(cfg Config) graphKey {
-	return graphKey{machine: cfg.Machine, policy: cfg.Policy, params: cfg.Params, dedup: cfg.Opts.Dedup}
+	return graphKey{
+		machine: cfg.Machine, policy: cfg.Policy, params: cfg.Params,
+		dedup: cfg.Opts.Dedup, spares: cfg.Opts.SpareRanks,
+	}
 }
 
 // acquire claims the key. The first requester gets leader=true — it must

@@ -72,6 +72,9 @@ type Result struct {
 	// Faults is the total number of rank crashes survived via checkpoint
 	// recovery across all roots.
 	Faults int
+	// MTTRNs is the summed modelled repair time of those crashes
+	// (detection delay plus re-own transfer; see bfs.RootResult.MTTRNs).
+	MTTRNs float64
 }
 
 // Run executes the benchmark.
@@ -138,6 +141,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.PerRoot = append(res.PerRoot, rr)
 		res.Faults += len(rr.Faults)
+		res.MTTRNs += rr.MTTRNs
 		teps = append(teps, rr.TEPS)
 		times = append(times, rr.TimeNs)
 		res.Breakdown.Merge(rr.Breakdown)

@@ -59,9 +59,10 @@ func ValidateRun(r *bfs.Runner, root int64) error {
 		pending -= progressed
 	}
 
-	// Per-rank edge and tree-edge checks.
-	for rank := 0; rank < r.W.NumProcs(); rank++ {
-		view := r.State(rank)
+	// Per-member edge and tree-edge checks (positions, not world ranks:
+	// spares own nothing and a shrink removes a position).
+	for pos := 0; pos < len(r.ParentArrays()); pos++ {
+		view := r.State(pos)
 		lo, hi := view.CSR.Lo, view.CSR.Hi
 		for v := lo; v < hi; v++ {
 			row := view.CSR.Neighbors(v)

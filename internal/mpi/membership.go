@@ -1,0 +1,134 @@
+package mpi
+
+import "fmt"
+
+// This file is the world's membership layer: which ranks Run/TryRun
+// schedules, and the epoch numbering of world views. A rank is live by
+// default; Park removes hot spares from the schedule before the first
+// run, Shrink removes permanently dead ranks mid-job, and Promote swaps
+// a parked spare in for a dead rank. Every membership change rebuilds
+// the sharded global barrier and the per-node barriers over the live
+// populations, so barrier pricing and the combiner's party counts track
+// the epoch — at full membership the shapes (and modelled costs) are
+// bit-identical to the historical fixed-world ones.
+//
+// Mutators must only be called when no rank goroutine is running
+// (between Run/TryRun attempts), like Injector.Disarm.
+
+// Epoch returns the world-view number: 0 until the first Shrink or
+// Promote, incremented by each.
+func (w *World) Epoch() int { return w.epoch }
+
+// Live reports whether rank r is scheduled by Run/TryRun.
+func (w *World) Live(r int) bool { return w.live[r] }
+
+// LiveRanks returns the live ranks in ascending order.
+func (w *World) LiveRanks() []int {
+	out := make([]int, 0, len(w.procs))
+	for r := range w.live {
+		if w.live[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LiveOnNode returns how many live ranks node carries in this epoch.
+func (w *World) LiveOnNode(node int) int { return w.liveOnNode[node] }
+
+// MaxLivePPN returns the largest live population on any node — the
+// intra-node dissemination depth the barrier model charges.
+func (w *World) MaxLivePPN() int { return w.maxLivePPN }
+
+// LiveNodes returns how many nodes still carry live ranks.
+func (w *World) LiveNodes() int { return w.liveNodes }
+
+// Park removes ranks from the schedule without declaring them dead —
+// hot spares waiting for a Promote. Call before the first Run; parking
+// does not advance the epoch (the first run's view is still epoch 0).
+func (w *World) Park(ranks []int) {
+	for _, r := range ranks {
+		if !w.live[r] {
+			panic(fmt.Sprintf("mpi: Park(%d): rank already parked or dead", r))
+		}
+		w.live[r] = false
+	}
+	w.rebuildMembership()
+}
+
+// Shrink removes permanently dead ranks from the world and advances the
+// epoch. Their mailboxes are drained (a dead rank may have left a
+// posted message no one will take) and the barriers are rebuilt over
+// the survivors; a node losing its last rank drops out of the barrier
+// combiner entirely.
+func (w *World) Shrink(dead []int) {
+	for _, r := range dead {
+		if !w.live[r] {
+			panic(fmt.Sprintf("mpi: Shrink(%d): rank already parked or dead", r))
+		}
+		w.live[r] = false
+		w.drainMail(r)
+	}
+	w.epoch++
+	w.rebuildMembership()
+}
+
+// Promote swaps the parked spare in for the dead rank and advances the
+// epoch. The spare joins the schedule, the dead rank leaves it, and
+// barriers are rebuilt — with a same-node spare the populations (and so
+// every modelled barrier cost) are unchanged.
+func (w *World) Promote(spare, dead int) {
+	if w.live[spare] {
+		panic(fmt.Sprintf("mpi: Promote(%d, %d): spare is not parked", spare, dead))
+	}
+	if !w.live[dead] {
+		panic(fmt.Sprintf("mpi: Promote(%d, %d): dead rank already removed", spare, dead))
+	}
+	w.live[spare] = true
+	w.live[dead] = false
+	w.drainMail(dead)
+	w.epoch++
+	w.rebuildMembership()
+}
+
+// drainMail empties every mailbox to and from rank r.
+func (w *World) drainMail(r int) {
+	for s := range w.mail[r] {
+		select {
+		case <-w.mail[r][s]:
+		default:
+		}
+	}
+	for d := range w.mail {
+		select {
+		case <-w.mail[d][r]:
+		default:
+		}
+	}
+}
+
+// rebuildMembership recomputes the live counts and rebuilds both
+// barrier levels over them.
+func (w *World) rebuildMembership() {
+	for n := range w.liveOnNode {
+		w.liveOnNode[n] = 0
+	}
+	for r, ok := range w.live {
+		if ok {
+			w.liveOnNode[r/w.pl.ProcsPerNode]++
+		}
+	}
+	w.liveNodes, w.maxLivePPN = 0, 0
+	for _, c := range w.liveOnNode {
+		if c > 0 {
+			w.liveNodes++
+		}
+		if c > w.maxLivePPN {
+			w.maxLivePPN = c
+		}
+	}
+	w.globalBarrier = newShardedBarrierCounts(w.liveOnNode)
+	for n := range w.nodeBarriers {
+		w.nodeBarriers[n] = newBarrier(w.liveOnNode[n])
+	}
+}

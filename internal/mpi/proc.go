@@ -146,7 +146,7 @@ func (p *Proc) checkCrash() {
 func (p *Proc) crashAt(at float64) {
 	p.clock = maxf(p.clock, at)
 	p.obs.FaultEvent("crash", p.clock)
-	panic(&fault.Error{Rank: p.rank, AtNs: at})
+	panic(&fault.Error{Rank: p.rank, AtNs: at, Permanent: p.w.inj.CrashPermanent(p.rank, at)})
 }
 
 // RestoreClock sets the rank's clock to a checkpointed value. Only
@@ -284,8 +284,10 @@ func (p *Proc) Barrier() float64 {
 	p.checkCrash()
 	start := p.clock
 	max := p.w.globalBarrier.sync(p.node, p.clock)
-	cost := float64(ceilLog2(p.w.ProcsPerNode())) * p.w.cfg.IntraNodeAlphaNs
-	cost += float64(ceilLog2(p.w.cfg.Nodes)) * p.w.cfg.InterNodeAlphaNs
+	// Dissemination depth follows the live epoch: at full membership
+	// these counts equal ProcsPerNode and Nodes exactly.
+	cost := float64(ceilLog2(p.w.maxLivePPN)) * p.w.cfg.IntraNodeAlphaNs
+	cost += float64(ceilLog2(p.w.liveNodes)) * p.w.cfg.InterNodeAlphaNs
 	p.clock = max + cost
 	p.commNs += p.clock - start
 	p.obs.BarrierWait(max - start)
@@ -298,7 +300,7 @@ func (p *Proc) NodeBarrier() float64 {
 	p.checkCrash()
 	start := p.clock
 	max := p.w.nodeBarriers[p.node].sync(p.clock)
-	rounds := ceilLog2(p.w.ProcsPerNode())
+	rounds := ceilLog2(p.w.liveOnNode[p.node])
 	p.clock = max + float64(rounds)*p.w.cfg.IntraNodeAlphaNs
 	p.commNs += p.clock - start
 	p.obs.NodeBarrierWait(max - start)

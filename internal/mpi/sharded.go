@@ -47,11 +47,27 @@ func newBarrierShard(n int) *barrierShard {
 // shard per node, combined over an inter-node stage with one party per
 // shard.
 func newShardedBarrier(shards, perShard int) *shardedBarrier {
-	b := &shardedBarrier{shards: make([]*barrierShard, shards)}
-	for i := range b.shards {
-		b.shards[i] = newBarrierShard(perShard)
+	counts := make([]int, shards)
+	for i := range counts {
+		counts[i] = perShard
 	}
-	b.inter.n = shards
+	return newShardedBarrierCounts(counts)
+}
+
+// newShardedBarrierCounts builds the barrier over per-shard party counts
+// — the membership-aware shape: after a shrink or with parked spares,
+// nodes carry unequal live populations, and a node with no live ranks
+// contributes no leader to the combiner (its shard would deadlock it).
+func newShardedBarrierCounts(counts []int) *shardedBarrier {
+	b := &shardedBarrier{shards: make([]*barrierShard, len(counts))}
+	populated := 0
+	for i, c := range counts {
+		b.shards[i] = newBarrierShard(c)
+		if c > 0 {
+			populated++
+		}
+	}
+	b.inter.n = populated
 	b.inter.cond = sync.NewCond(&b.inter.mu)
 	return b
 }

@@ -47,6 +47,17 @@ type World struct {
 	globalBarrier *shardedBarrier
 	nodeBarriers  []*barrier
 
+	// Membership (membership.go): live[r] marks rank r as scheduled by
+	// Run/TryRun — parked spares and permanently dead ranks are not.
+	// The derived counts price barriers over the live epoch only, and
+	// epoch numbers the world views (0 = the view Run first saw;
+	// Shrink/Promote advance it).
+	live       []bool
+	liveOnNode []int
+	liveNodes  int
+	maxLivePPN int
+	epoch      int
+
 	// abort is closed when any rank panics, releasing ranks blocked in
 	// communication (MPI job-abort semantics: one failing rank brings
 	// the whole job down instead of deadlocking its partners).
@@ -101,11 +112,13 @@ func NewWorld(cfg machine.Config, pl machine.Placement) *World {
 			w.mail[d][s] = make(chan message, 1)
 		}
 	}
-	w.globalBarrier = newShardedBarrier(cfg.Nodes, pl.ProcsPerNode)
-	w.nodeBarriers = make([]*barrier, cfg.Nodes)
-	for n := range w.nodeBarriers {
-		w.nodeBarriers[n] = newBarrier(pl.ProcsPerNode)
+	w.live = make([]bool, np)
+	for r := range w.live {
+		w.live[r] = true
 	}
+	w.liveOnNode = make([]int, cfg.Nodes)
+	w.nodeBarriers = make([]*barrier, cfg.Nodes)
+	w.rebuildMembership()
 	w.procs = make([]*Proc, np)
 	for r := 0; r < np; r++ {
 		w.procs[r] = &Proc{
@@ -179,6 +192,9 @@ func (w *World) TryRun(body func(p *Proc)) error {
 	var faults []*fault.Error
 	panics := make(chan error, len(w.procs))
 	for _, p := range w.procs {
+		if !w.live[p.rank] {
+			continue
+		}
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
@@ -229,10 +245,7 @@ func (w *World) resetAbort() {
 	}
 	w.abort = make(chan struct{})
 	w.abortOnce = sync.Once{}
-	w.globalBarrier = newShardedBarrier(w.cfg.Nodes, w.pl.ProcsPerNode)
-	for n := range w.nodeBarriers {
-		w.nodeBarriers[n] = newBarrier(w.pl.ProcsPerNode)
-	}
+	w.rebuildMembership()
 	for d := range w.mail {
 		for s := range w.mail[d] {
 			select {
@@ -248,6 +261,9 @@ func (w *World) resetAbort() {
 func (w *World) MaxClock() float64 {
 	var m float64
 	for _, p := range w.procs {
+		if !w.live[p.rank] {
+			continue
+		}
 		if p.clock > m {
 			m = p.clock
 		}

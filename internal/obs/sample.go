@@ -51,6 +51,10 @@ const (
 	// stalled for a chunk that was not hidden under computation) per
 	// bucket.
 	GaugeExposedWait
+	// GaugeLiveRanks is the world's live-member count per epoch: set at
+	// the start of each run and stepped at every detection-driven shrink
+	// or spare promotion (instantaneous, not summed).
+	GaugeLiveRanks
 	NumGauges
 )
 
@@ -72,6 +76,8 @@ func (g Gauge) String() string {
 		return "ckpt-bytes"
 	case GaugeExposedWait:
 		return "exposed-wait-ns"
+	case GaugeLiveRanks:
+		return "live-ranks"
 	default:
 		return "gauge-?"
 	}
@@ -92,7 +98,7 @@ func GaugeByName(name string) (Gauge, bool) {
 // densities — instantaneous state, downsampled peak-preserving).
 func (g Gauge) Cumulative() bool {
 	switch g {
-	case GaugeFrontier, GaugeFrontierDensity:
+	case GaugeFrontier, GaugeFrontierDensity, GaugeLiveRanks:
 		return false
 	default:
 		return true

@@ -25,6 +25,7 @@ const (
 	Recovery              // crash detection, rollback and state restore
 	Xport                 // reliable-transport stall (retransmits, backoff, protocol frames)
 	Overlap               // communication hidden behind computation (pipelined allgather)
+	Reown                 // survivor repartitioning: re-owning a dead rank's state
 	NumPhases
 )
 
@@ -51,6 +52,8 @@ func (p Phase) String() string {
 		return "xport"
 	case Overlap:
 		return "overlap"
+	case Reown:
+		return "reown"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -181,6 +184,7 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		XportNs     float64 `json:"xport_ns"`
 		OverlapNs   float64 `json:"overlap_ns"`
 		OverlapExpNs float64 `json:"overlap_exposed_ns"`
+		ReownNs     float64 `json:"reown_ns"`
 		TotalNs     float64 `json:"total_ns"`
 		TDLevels    int     `json:"td_levels"`
 		BULevels    int     `json:"bu_levels"`
@@ -192,6 +196,7 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		CkptNs: b.Ns[Ckpt], RecoveryNs: b.Ns[Recovery],
 		XportNs:   b.Ns[Xport],
 		OverlapNs: b.Ns[Overlap], OverlapExpNs: b.OverlapExposedNs,
+		ReownNs:  b.Ns[Reown],
 		TotalNs:  b.Total(),
 		TDLevels: b.TDLevels, BULevels: b.BULevels, BUCommCount: b.BUCommCount,
 	})
