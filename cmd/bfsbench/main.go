@@ -58,6 +58,8 @@ var drivers = []driver{
 	{"availability", experiments.ExtAvailability},
 	{"loss", experiments.ExtLoss},
 	{"overlap", experiments.ExtOverlap},
+	{"msbfs", experiments.ExtMSBFS},
+	{"msbfs-load", experiments.ExtMSBFSLoad},
 	{"timeline", experiments.Timeline},
 	{"abl-allgather", experiments.AblationAllgather},
 	{"abl-compression", experiments.AblationCompression},
@@ -246,6 +248,42 @@ func validateObsFlags(f obsFlags) []string {
 	return errs
 }
 
+// batchFlags gathers the MS-BFS batching flags for validation.
+type batchFlags struct {
+	batch         int
+	fillTimeoutNs float64
+	batchSet      bool // -batch given explicitly
+	fillSet       bool // -fill-timeout-ns given explicitly
+	figs          []string
+}
+
+// validateBatchFlags returns the usage errors in an MS-BFS flag
+// combination; any error means exit 2, like an unknown -fig key.
+func validateBatchFlags(f batchFlags) []string {
+	var errs []string
+	if f.batch < 1 || f.batch > 64 {
+		errs = append(errs, fmt.Sprintf("-batch %d outside [1, 64]: a batch is at most one uint64 of lanes", f.batch))
+	}
+	if f.fillTimeoutNs < 0 {
+		errs = append(errs, "-fill-timeout-ns must be non-negative (0 derives the timeout from the batch duration)")
+	}
+	usesBatch := false
+	for _, w := range f.figs {
+		if w == "all" || w == "msbfs" || w == "msbfs-load" {
+			usesBatch = true
+		}
+	}
+	if !usesBatch {
+		if f.batchSet {
+			errs = append(errs, "-batch has no effect without -fig msbfs or msbfs-load")
+		}
+		if f.fillSet {
+			errs = append(errs, "-fill-timeout-ns has no effect without -fig msbfs or msbfs-load")
+		}
+	}
+	return errs
+}
+
 // figKeys returns every valid -fig value, including the special keys
 // that select no driver ("table1") or all of them ("all").
 func figKeys() []string {
@@ -315,6 +353,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
 	cellLedger := flag.String("cell-ledger", "", `write the per-cell host wall-clock ledger to this file ("-" for stdout)`)
 	hostBudget := flag.Float64("host-budget", 0, "with -bench-check: fail if total host time exceeds this multiple of the baseline's (0 disables)")
+	batch := flag.Int("batch", 64, "MS-BFS lanes per batch for -fig msbfs/msbfs-load (1..64)")
+	fillTimeout := flag.Float64("fill-timeout-ns", 0, "query-server fill timeout in virtual ns for -fig msbfs-load (0 = 2x the calibrated batch duration)")
 	flag.Parse()
 
 	want := strings.Split(*fig, ",")
@@ -327,18 +367,28 @@ func main() {
 			strings.Join(quoted, ","), strings.Join(figKeys(), ","))
 		os.Exit(2)
 	}
-	sampleNsSet := false
+	sampleNsSet, batchSet, fillSet := false, false, false
 	flag.Visit(func(fl *flag.Flag) {
-		if fl.Name == "sample-ns" {
+		switch fl.Name {
+		case "sample-ns":
 			sampleNsSet = true
+		case "batch":
+			batchSet = true
+		case "fill-timeout-ns":
+			fillSet = true
 		}
 	})
-	if errs := validateObsFlags(obsFlags{
+	errs := validateObsFlags(obsFlags{
 		metrics: *metrics, metricsOut: *metricsOut,
 		timeline: *timelineOut, html: *htmlOut, prom: *promOut,
 		sampleNs: *sampleNs, sampleNsSet: sampleNsSet,
 		benchCheck: *benchCheckFile != "",
-	}); len(errs) != 0 {
+	})
+	errs = append(errs, validateBatchFlags(batchFlags{
+		batch: *batch, fillTimeoutNs: *fillTimeout,
+		batchSet: batchSet, fillSet: fillSet, figs: want,
+	})...)
+	if len(errs) != 0 {
 		for _, e := range errs {
 			fmt.Fprintf(os.Stderr, "bfsbench: %s\n", e)
 		}
@@ -433,6 +483,9 @@ func main() {
 		Cache:     graph500.NewGraphCache(),
 		Parallel:  *parallel,
 		Ledger:    ledger,
+
+		Batch:         *batch,
+		FillTimeoutNs: *fillTimeout,
 	}
 	if *traceOut != "" || *metrics || *metricsOut != "" ||
 		*timelineOut != "" || *htmlOut != "" || *promOut != "" {

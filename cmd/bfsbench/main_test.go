@@ -113,6 +113,53 @@ func TestDriverForOverlap(t *testing.T) {
 	}
 }
 
+func TestDriverForMSBFS(t *testing.T) {
+	for _, key := range []string{"msbfs", "msbfs-load"} {
+		if d := driverFor(key); d == nil {
+			t.Fatalf("%s driver not registered", key)
+		}
+	}
+	if got := unknownFigs([]string{"msbfs", "msbfs-load"}); got != nil {
+		t.Fatalf("msbfs keys flagged: %v", got)
+	}
+}
+
+func TestValidateBatchFlags(t *testing.T) {
+	valid := []batchFlags{
+		{batch: 64, figs: []string{"9"}}, // defaults are inert without the figs
+		{batch: 64, figs: []string{"msbfs"}},
+		{batch: 1, batchSet: true, figs: []string{"msbfs"}},
+		{batch: 32, fillTimeoutNs: 5e6, batchSet: true, fillSet: true, figs: []string{"msbfs-load"}},
+		{batch: 64, fillTimeoutNs: 1e6, fillSet: true, figs: []string{"all"}},
+		{batch: 16, batchSet: true, figs: []string{"9", "msbfs-load"}},
+	}
+	for _, f := range valid {
+		if errs := validateBatchFlags(f); errs != nil {
+			t.Errorf("valid combo %+v rejected: %v", f, errs)
+		}
+	}
+	invalid := []batchFlags{
+		{batch: 0, figs: []string{"msbfs"}},
+		{batch: 65, figs: []string{"msbfs"}},
+		{batch: -3, figs: []string{"msbfs-load"}},
+		{batch: 64, fillTimeoutNs: -1, figs: []string{"msbfs-load"}},
+		{batch: 32, batchSet: true, figs: []string{"9"}},                          // -batch without a consumer fig
+		{batch: 64, fillTimeoutNs: 1e6, fillSet: true, figs: []string{"overlap"}}, // -fill-timeout-ns without a consumer fig
+	}
+	for _, f := range invalid {
+		if errs := validateBatchFlags(f); len(errs) == 0 {
+			t.Errorf("invalid combo %+v accepted", f)
+		}
+	}
+	// Each distinct problem reports its own line.
+	errs := validateBatchFlags(batchFlags{
+		batch: 100, batchSet: true, fillTimeoutNs: -2, fillSet: true, figs: []string{"11"},
+	})
+	if len(errs) != 4 {
+		t.Fatalf("want 4 errors, got %d: %v", len(errs), errs)
+	}
+}
+
 func TestDriverForLoss(t *testing.T) {
 	if d := driverFor("loss"); d == nil {
 		t.Fatal("loss driver not registered")

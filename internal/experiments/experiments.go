@@ -68,6 +68,16 @@ type Spec struct {
 	// the drivers run (the bfsbench -cell-ledger output and the CI
 	// host-budget gate's input).
 	Ledger *Ledger
+	// Batch is the MS-BFS lane count for the batched-traversal figures
+	// (ExtMSBFS, ExtMSBFSLoad): how many roots share one traversal.
+	// 0 means the full 64 lanes; values clamp to [1, 64]. The bfsbench
+	// -batch flag feeds it.
+	Batch int
+	// FillTimeoutNs is the query-server admission timeout for
+	// ExtMSBFSLoad: how long a query may wait for lane-mates before its
+	// batch launches. 0 derives a default from the measured batch
+	// duration. The bfsbench -fill-timeout-ns flag feeds it.
+	FillTimeoutNs float64
 }
 
 // Quick returns a spec small enough for unit tests.

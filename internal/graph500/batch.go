@@ -1,0 +1,132 @@
+package graph500
+
+import (
+	"fmt"
+
+	"numabfs/internal/msbfs"
+)
+
+// NewBatchRunner builds a batched MS-BFS runner under a benchmark
+// Config, wiring the same graph cache and observability recorder the
+// single-root path uses. The cache key matches Run's exactly — the
+// batched engine partitions vertices identically — so an experiment
+// mixing batched and sequential cells builds each graph once and both
+// engines traverse bit-identical CSRs. NumRoots and Validate are
+// ignored (batch size and validation are the caller's; see
+// ValidateBatch). The runner is returned Setup and ready for RunBatch.
+func NewBatchRunner(cfg Config) (*msbfs.Runner, error) {
+	runner, err := msbfs.NewRunner(cfg.Machine, cfg.Policy, cfg.Params, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Obs != nil {
+		label := fmt.Sprintf("msbfs %s %s g=%d scale=%d nodes=%d",
+			cfg.Policy, cfg.Opts.Opt, cfg.Opts.Granularity,
+			cfg.Params.Scale, cfg.Machine.Nodes)
+		sess := cfg.Obs.NewSession(label)
+		if cfg.SampleNs > 0 {
+			sess.EnableSampling(cfg.SampleNs)
+		}
+		runner.AttachObs(sess)
+	}
+	if cfg.Cache != nil {
+		k := cacheKeyOf(cfg)
+		e, leader := cfg.Cache.acquire(k)
+		if leader {
+			committed := false
+			defer func() {
+				if !committed {
+					cfg.Cache.abandon(k, e)
+				}
+			}()
+			runner.Setup()
+			cfg.Cache.commit(e, runner.CSRs(), runner.SetupNs)
+			committed = true
+		} else {
+			if csrs, setupNs, ok := e.wait(); ok {
+				if err := runner.UsePrebuilt(csrs, setupNs); err != nil {
+					return nil, err
+				}
+			}
+			runner.Setup()
+		}
+	} else {
+		runner.Setup()
+	}
+	if cfg.Faults != nil {
+		if err := runner.InjectFaults(*cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
+	return runner, nil
+}
+
+// ValidateBatch checks every lane of the last RunBatch on r against the
+// Graph500 specification, each lane's parent tree validated
+// independently (the batched engine shares sweeps and collectives
+// across lanes, but each lane's tree must stand on its own exactly as a
+// sequential run's would).
+func ValidateBatch(r *msbfs.Runner, roots []int64) error {
+	csrs := r.CSRs()
+	for l, root := range roots {
+		if err := validateTree(r.LaneParents(l), root, csrs); err != nil {
+			return fmt.Errorf("lane %d (root %d): %w", l, root, err)
+		}
+	}
+	return nil
+}
+
+// ValidateBatchIdentity asserts the batched engine's determinism
+// contract: each lane's parent tree from the last RunBatch(roots) must
+// be bit-identical to the tree the SAME engine produces traversing that
+// root alone (a batch of one — the sequential counterpart at the same
+// optimization level). The check runs len(roots) single-root batches on
+// r, then re-runs the full batch so the runner's lane state is restored
+// for the caller.
+func ValidateBatchIdentity(r *msbfs.Runner, roots []int64) error {
+	batched := make([][]int64, len(roots))
+	for l := range roots {
+		batched[l] = r.LaneParents(l)
+	}
+	for l, root := range roots {
+		r.RunBatch([]int64{root})
+		solo := r.LaneParents(0)
+		for v := range solo {
+			if solo[v] != batched[l][v] {
+				r.RunBatch(roots)
+				return fmt.Errorf("lane %d (root %d) vertex %d: batched parent %d, sequential parent %d",
+					l, root, v, batched[l][v], solo[v])
+			}
+		}
+	}
+	r.RunBatch(roots)
+	return nil
+}
+
+// LaneLevels reconstructs lane l's global level array from the batched
+// runner's parent trees (-1 unreached), for tests comparing against the
+// sequential reference BFS.
+func LaneLevels(r *msbfs.Runner, l int, root int64) []int64 {
+	parent := r.LaneParents(l)
+	level := make([]int64, len(parent))
+	for i := range level {
+		level[i] = -1
+	}
+	if parent[root] < 0 {
+		return level
+	}
+	level[root] = 0
+	for changed := true; changed; {
+		changed = false
+		for v := range parent {
+			if level[v] >= 0 || parent[v] < 0 {
+				continue
+			}
+			if pl := level[parent[v]]; pl >= 0 {
+				level[v] = pl + 1
+				changed = true
+			}
+		}
+	}
+	return level
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"numabfs/internal/bfs"
+	"numabfs/internal/graph"
 )
 
 // ValidateRun checks the BFS tree left in a runner's rank states against
@@ -24,6 +25,19 @@ func ValidateRun(r *bfs.Runner, root int64) error {
 		lo, _ := r.Part.Range(rank)
 		copy(parent[lo:lo+int64(len(pa))], pa)
 	}
+	csrs := make([]*graph.CSR, len(r.ParentArrays()))
+	for pos := range csrs {
+		csrs[pos] = r.State(pos).CSR
+	}
+	return validateTree(parent, root, csrs)
+}
+
+// validateTree is the specification core shared by the single-root and
+// the batched (per-lane) validators: parent is the global parent array,
+// csrs the distributed graph (per-member edge checks run on positions,
+// not world ranks: spares own nothing and a shrink removes a position).
+func validateTree(parent []int64, root int64, csrs []*graph.CSR) error {
+	n := int64(len(parent))
 	if parent[root] != root {
 		return fmt.Errorf("root %d has parent %d, want itself", root, parent[root])
 	}
@@ -59,13 +73,10 @@ func ValidateRun(r *bfs.Runner, root int64) error {
 		pending -= progressed
 	}
 
-	// Per-member edge and tree-edge checks (positions, not world ranks:
-	// spares own nothing and a shrink removes a position).
-	for pos := 0; pos < len(r.ParentArrays()); pos++ {
-		view := r.State(pos)
-		lo, hi := view.CSR.Lo, view.CSR.Hi
+	for _, csr := range csrs {
+		lo, hi := csr.Lo, csr.Hi
 		for v := lo; v < hi; v++ {
-			row := view.CSR.Neighbors(v)
+			row := csr.Neighbors(v)
 			if pv := parent[v]; pv >= 0 && v != root {
 				// Rule 2: the tree edge must be a graph edge.
 				i := sort.Search(len(row), func(i int) bool { return row[i] >= pv })

@@ -4,6 +4,13 @@ import "fmt"
 
 // Request is a handle to a nonblocking operation. Complete it with Wait;
 // a Request must be waited on exactly once.
+//
+// Requests are pooled per rank: Wait returns the Request to its rank's
+// free-list, and the rank's next Isend/Irecv may hand the same struct
+// back out. A completed Request's fields (BeginNs/EndNs, Msg) therefore
+// stay valid only until the rank's next nonblocking post — the
+// pipelined collectives read them immediately after Wait, before
+// posting the next chunk pair, which is the contract.
 type Request struct {
 	p    *Proc
 	done bool
@@ -17,6 +24,7 @@ type Request struct {
 	src, tag  int
 	postClock float64
 	out       *Msg
+	msg       Msg
 
 	// BeginNs and EndNs bracket the completed transfer on the virtual
 	// timeline (recv side only; valid after Wait). Pipelined collectives
@@ -25,6 +33,13 @@ type Request struct {
 	// time (the rank stalled for it).
 	BeginNs, EndNs float64
 }
+
+// Msg returns the received message (recv side only; valid after Wait,
+// until the rank's next nonblocking post). Callers that read the
+// message here instead of passing an out pointer to Irecv keep the hot
+// path allocation-free: a per-iteration out variable escapes to the
+// heap, the pooled Request's internal storage does not.
+func (r *Request) Msg() Msg { return r.msg }
 
 // Isend posts a nonblocking send. The transfer is timestamped with the
 // clock at post time, so computation between Isend and Wait genuinely
@@ -50,21 +65,27 @@ func (p *Proc) IsendWire(dst, tag int, wireBytes, rawBytes int64, payload any, s
 	p.post(dst, m)
 	p.sentBytes += wireBytes
 	p.countMsg(dst, wireBytes, rawBytes)
-	return &Request{p: p, ack: m.ack, sendBytes: wireBytes}
+	r := p.getReq()
+	r.ack = m.ack
+	r.sendBytes = wireBytes
+	return r
 }
 
 // Irecv posts a nonblocking receive from src with the given tag. The
 // message's transfer is timed from the later of the sender's post and
 // this receive's post, so work between Irecv and Wait overlaps the
-// incoming transfer. The received message is stored into out at Wait.
+// incoming transfer. The received message is stored into out at Wait;
+// out may be nil, in which case the message is read from Request.Msg.
 func (p *Proc) Irecv(src, tag int, out *Msg) *Request {
 	if src == p.rank {
 		panic(fmt.Sprintf("mpi: rank %d irecv from self", p.rank))
 	}
-	return &Request{
-		p: p, isRecv: true, src: src, tag: tag,
-		postClock: p.clock, out: out,
-	}
+	r := p.getReq()
+	r.isRecv = true
+	r.src, r.tag = src, tag
+	r.postClock = p.clock
+	r.out = out
+	return r
 }
 
 // Wait completes the operation: it blocks until the rendezvous partner
@@ -84,6 +105,7 @@ func (r *Request) Wait() {
 			p.clock = end
 		}
 		p.commNs += p.clock - start
+		p.putReq(r)
 		return
 	}
 	m := p.take(r.src)
@@ -98,9 +120,11 @@ func (r *Request) Wait() {
 		p.clock = recvEnd
 	}
 	p.commNs += p.clock - start
+	r.msg = Msg{Src: m.src, Tag: m.tag, Bytes: m.bytes, Payload: m.payload}
 	if r.out != nil {
-		*r.out = Msg{Src: m.src, Tag: m.tag, Bytes: m.bytes, Payload: m.payload}
+		*r.out = r.msg
 	}
+	p.putReq(r)
 }
 
 // WaitAll completes a set of requests in order.

@@ -55,6 +55,14 @@ type Proc struct {
 	// empty. Channels in flight during an abort unwind are simply
 	// dropped.
 	ackFree []chan float64
+
+	// reqFree is the rank's free-list of nonblocking Requests: Wait
+	// returns a completed Request here, Isend/Irecv draw from it. Only
+	// the owning rank's goroutine touches the list; a completed
+	// Request's fields stay readable until the rank's next nonblocking
+	// post (Request's doc comment carries the contract). Requests in
+	// flight during an abort unwind are simply dropped.
+	reqFree []*Request
 }
 
 // getAck takes an ack channel from the free-list, or allocates one.
@@ -69,6 +77,21 @@ func (p *Proc) getAck() chan float64 {
 
 // putAck returns a consumed ack channel to the free-list.
 func (p *Proc) putAck(ch chan float64) { p.ackFree = append(p.ackFree, ch) }
+
+// getReq takes a Request from the free-list (reset to zero state), or
+// allocates one.
+func (p *Proc) getReq() *Request {
+	if n := len(p.reqFree); n > 0 {
+		r := p.reqFree[n-1]
+		p.reqFree = p.reqFree[:n-1]
+		*r = Request{p: p}
+		return r
+	}
+	return &Request{p: p}
+}
+
+// putReq returns a completed Request to the free-list.
+func (p *Proc) putReq(r *Request) { p.reqFree = append(p.reqFree, r) }
 
 // Obs returns the rank's observability stream. It is nil when tracing
 // is off — a nil *obs.Rank is a valid recorder whose methods no-op, so

@@ -1,0 +1,75 @@
+package msbfs
+
+import (
+	"math/bits"
+
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/trace"
+)
+
+// bottomUpSweep runs one bottom-up step for the lanes of buMask: every
+// owned vertex still unvisited in at least one of those lanes scans its
+// neighbours once, resolving ALL its pending lanes in that single pass —
+// lane l adopts the first neighbour (in adjacency order) present in lane
+// l's frontier, the reference code's rule applied independently per
+// lane. The lane summary's per-lane OR keeps the short-circuit exact:
+// a granule is skipped for exactly the pending lanes it is empty in,
+// never because another lane is dense there.
+func (ls *laneState) bottomUpSweep(p *mpi.Proc, buMask uint64, nfL, mfL *[64]int64) {
+	r := ls.r
+	inqLoc, sumLoc := r.inqLoc(), r.sumLoc()
+	res := ls.team.For(ls.csr.NumLocal(), r.Opts.Chunk, func(lo, hi int64, load *machine.PhaseLoad) {
+		var edges, sumChecks, planeChecks, found int64
+		for i := lo; i < hi; i++ {
+			pend := buMask &^ ls.vis[i]
+			if pend == 0 {
+				continue
+			}
+			v := ls.csr.Lo + i
+			var d int64 // v's degree, fetched lazily on the first hit
+			for _, u := range ls.csr.Neighbors(v) {
+				edges++
+				sumChecks++
+				if ls.inSum.CoveredZero(u, pend) {
+					continue // the summary proved every pending lane empty here
+				}
+				planeChecks++
+				hit := ls.inPlane.Word(u) & pend
+				if hit == 0 {
+					continue
+				}
+				ls.vis[i] |= hit
+				ls.outPlane.Or(v, hit)
+				if d == 0 {
+					d = ls.csr.Degree(v)
+				}
+				for m := hit; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros64(m)
+					ls.parent[l][i] = u
+					nfL[l]++
+					mfL[l] += d
+					ls.visitedCount[l]++
+					ls.visitedEdges[l] += d
+				}
+				found++
+				pend &^= hit
+				if pend == 0 {
+					break
+				}
+			}
+		}
+		load.Random = append(load.Random,
+			machine.Access{Count: sumChecks, StructBytes: r.sumBytes, Loc: sumLoc},
+			machine.Access{Count: planeChecks, StructBytes: r.planeBytes, Loc: inqLoc},
+			machine.Access{Count: found, StructBytes: ls.visBytes(), Loc: r.pl.PrivateLoc},
+		)
+		// Visited-word scan + adjacency stream.
+		load.SeqBytes = (hi-lo)*8 + edges*8
+		load.SeqLoc = r.pl.GraphLoc
+		load.CPUOps = edges*2 + (hi - lo)
+	})
+	tc := p.Clock()
+	p.Compute(res.Ns)
+	ls.charge(trace.BUComp, tc, p.Clock())
+}

@@ -1,0 +1,344 @@
+// Package msbfs implements bit-parallel multi-source BFS (MS-BFS, after
+// Then et al.): up to 64 roots traverse the graph together, one bit-lane
+// per root packed into a per-vertex uint64 lane word. A single adjacency
+// scan tests or updates all lanes at once, and — the point of the
+// exercise on a NUMA cluster — the whole batch shares ONE frontier
+// allgather and ONE summary allgather per level where a lane-at-a-time
+// run pays them per root per level. The engine reuses the paper's
+// optimization ladder verbatim (node-shared planes, leader-based /
+// parallel / compressed allgathers through internal/collective and
+// internal/wire); only the overlap level is out of scope, because the
+// chunk-rebuild pipeline is specialized to single-bit summaries.
+//
+// Determinism contract: every lane's parent tree is a pure function of
+// that lane's own frontier. The top-down sweep claims owned vertices in
+// ascending vertex order and processes remote claims in sender-position
+// order; the bottom-up sweep applies the reference code's
+// first-hit-in-adjacency-order rule independently per lane (the lane
+// summary's per-lane OR keeps the short-circuit exact, with no
+// cross-lane false positives). A root therefore produces the same
+// parent tree whether it runs in a full batch of 64 or alone in a batch
+// of 1 — the property internal/graph500's batched validation asserts.
+package msbfs
+
+import (
+	"fmt"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/bitmap"
+	"numabfs/internal/collective"
+	"numabfs/internal/fault"
+	"numabfs/internal/graph"
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/obs"
+	"numabfs/internal/omp"
+	"numabfs/internal/rmat"
+	"numabfs/internal/trace"
+	"numabfs/internal/wire"
+)
+
+// ValidateOptions checks a bfs.Options for the batched engine: the
+// shared/parallel/compressed allgather ladder applies verbatim, the
+// overlap level and the crash-recovery machinery do not.
+func ValidateOptions(o bfs.Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if o.Opt > bfs.OptCompressedAllgather {
+		return fmt.Errorf("msbfs: optimization level %q not supported by the batched engine (max %q)",
+			o.Opt, bfs.OptCompressedAllgather)
+	}
+	if o.SpareRanks != 0 || o.Recovery != bfs.RecoverRerun {
+		return fmt.Errorf("msbfs: crash recovery (spares/shrink) not supported by the batched engine")
+	}
+	return nil
+}
+
+// Runner owns one simulated multi-source BFS job. Build with NewRunner,
+// call Setup once (kernel 1), then RunBatch per batch of up to 64 roots.
+type Runner struct {
+	W        *mpi.World
+	NC       *collective.NodeComm
+	AllGroup *collective.Group
+	Part     graph.Partition
+	Params   rmat.Params
+	Opts     bfs.Options
+
+	cfg machine.Config
+	pl  machine.Placement
+
+	// planeLayout maps rank -> lane-plane word segment (one word per
+	// vertex, so plane segments follow the vertex partition directly);
+	// sumLayout maps rank -> lane-summary word segment (one word per
+	// granule, even split).
+	planeLayout collective.Layout
+	sumLayout   collective.Layout
+
+	planeBytes int64 // full lane-plane size, for the cache model
+	sumBytes   int64 // full lane-summary size
+
+	states []*laneState
+
+	totalEdges int64
+
+	// SetupNs is the virtual time of distributed construction.
+	SetupNs float64
+
+	faults fault.Plan
+
+	prebuilt   []*graph.CSR
+	prebuiltNs float64
+}
+
+// laneState is the per-rank algorithm state. Unlike bfs.rankState there
+// is no spare/recovery indirection: position == rank.
+type laneState struct {
+	r    *Runner
+	pos  int
+	csr  *graph.CSR
+	team omp.Team
+
+	nl  int    // lanes in the current batch
+	all uint64 // mask of the current batch's lanes
+
+	// parent[l][i] is owned vertex (Lo+i)'s parent in lane l's tree, -1
+	// unvisited. vis[i] is the vertex's visited lane word — the bitwise
+	// union of the 64 single-source visited maps.
+	parent [][]int64
+	vis    []uint64
+
+	inPlane  *bitmap.LanePlane   // full frontier plane over all vertices
+	outPlane *bitmap.LanePlane   // next frontier; only the owned segment is written
+	inSum    *bitmap.LaneSummary // lane summary of inPlane
+
+	// planeCodec/sumCodec are the compressed-allgather wire codecs (nil
+	// below OptCompressedAllgather), one per collective purpose as in
+	// bfs.
+	planeCodec *wire.Codec
+	sumCodec   *wire.Codec
+
+	send [][]int64 // top-down owner routing: (child, parent, laneMask) triples
+
+	visitedEdges [64]int64 // per lane: degrees of vertices this rank visited
+	visitedCount [64]int64
+	laneLevels   [64]int // per lane: level count at termination
+
+	bd         trace.Breakdown
+	levels     int
+	rounds     int64 // plane+summary allgather boundaries this batch
+	levelStats []trace.LevelStat
+
+	rec *obs.Rank
+}
+
+// NewRunner builds a batched runner over cfg with the given placement
+// policy. Options follow bfs semantics restricted by ValidateOptions.
+func NewRunner(cfg machine.Config, policy machine.Policy, params rmat.Params, opts bfs.Options) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateOptions(opts); err != nil {
+		return nil, err
+	}
+	pl := machine.PlacementFor(cfg, policy)
+	w := mpi.NewWorld(cfg, pl)
+	np := w.NumProcs()
+	n := params.NumVertices()
+	if n < int64(np)*64 {
+		return nil, fmt.Errorf("msbfs: scale %d too small for %d ranks (need >= 64 vertices per rank)", params.Scale, np)
+	}
+	r := &Runner{
+		W:      w,
+		Params: params,
+		Opts:   opts,
+		cfg:    cfg,
+		pl:     pl,
+	}
+	ranks := make([]int, np)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	r.Part = graph.NewPartition(n, np)
+	r.AllGroup = collective.NewGroup(w, ranks)
+	r.NC = collective.NewNodeCommRanks(w, ranks)
+	// One plane word per vertex: the plane layout IS the vertex
+	// partition, so the same allgather code that moves bitmap words
+	// moves lane words.
+	r.planeLayout = collective.SegLayout(r.Part.Offsets())
+	r.planeBytes = n * 8
+	granules := (n + opts.Granularity - 1) / opts.Granularity
+	if granules < 1 {
+		granules = 1
+	}
+	r.sumLayout = collective.EvenLayout(granules, np)
+	r.sumBytes = granules * 8
+	r.states = make([]*laneState, np)
+	return r, nil
+}
+
+// InjectFaults installs a deterministic fault plan for subsequent
+// RunBatch calls: degradation, stragglers, jitter and lossy links
+// compose with the batched engine exactly as with bfs. Crash plans are
+// rejected — the engine has no checkpoint/recovery path.
+func (r *Runner) InjectFaults(plan fault.Plan) error {
+	if len(plan.Crashes) > 0 {
+		return fmt.Errorf("msbfs: crash plans not supported (no checkpointing in the batched engine)")
+	}
+	if err := r.W.InjectFaults(plan); err != nil {
+		return err
+	}
+	r.faults = plan
+	return nil
+}
+
+// AttachObs routes the runner's world through an observability session.
+// Call before Setup. Tracing never advances virtual time.
+func (r *Runner) AttachObs(s *obs.Session) { r.W.AttachObs(s) }
+
+// UsePrebuilt installs per-rank CSRs cached from an earlier build with
+// identical parameters (internal/graph500's graph cache — a bfs build
+// with the same scale/seed/rank count produces the same partition, so
+// its CSRs are directly shareable). Call before Setup.
+func (r *Runner) UsePrebuilt(csrs []*graph.CSR, setupNs float64) error {
+	if len(csrs) != len(r.states) {
+		return fmt.Errorf("msbfs: prebuilt CSRs for %d ranks, world has %d", len(csrs), len(r.states))
+	}
+	r.prebuilt = csrs
+	r.prebuiltNs = setupNs
+	return nil
+}
+
+// CSRs returns each rank's CSR (aliases; read-only during traversal).
+// Valid after Setup; used to populate the graph cache.
+func (r *Runner) CSRs() []*graph.CSR {
+	out := make([]*graph.CSR, len(r.states))
+	for i, ls := range r.states {
+		out[i] = ls.csr
+	}
+	return out
+}
+
+// sharedLoc / inqLoc / sumLoc mirror bfs: the lane plane lives where
+// in_queue lives, the lane summary where in_queue_summary lives.
+func (r *Runner) sharedLoc() machine.Locality {
+	if r.pl.ProcsPerNode == 1 {
+		return r.pl.PrivateLoc
+	}
+	return machine.NodeShared
+}
+
+func (r *Runner) inqLoc() machine.Locality {
+	if r.Opts.Opt >= bfs.OptShareInQueue {
+		return r.sharedLoc()
+	}
+	return r.pl.PrivateLoc
+}
+
+func (r *Runner) sumLoc() machine.Locality {
+	if r.Opts.Opt >= bfs.OptShareAll {
+		return r.sharedLoc()
+	}
+	return r.pl.PrivateLoc
+}
+
+func (ls *laneState) outLoc() machine.Locality {
+	if ls.r.Opts.Opt >= bfs.OptShareAll {
+		return ls.r.sharedLoc()
+	}
+	return ls.r.pl.PrivateLoc
+}
+
+// Setup runs distributed construction (kernel 1) and allocates the
+// per-rank lane state. Must be called exactly once before RunBatch.
+func (r *Runner) Setup() {
+	n := r.Params.NumVertices()
+	granules := r.sumLayout.TotalWords()
+	opt := r.Opts.Opt
+	r.W.Run(func(p *mpi.Proc) {
+		pos := p.Rank()
+		var csr *graph.CSR
+		if r.prebuilt != nil {
+			csr = r.prebuilt[pos]
+		} else {
+			csr = graph.BuildDistributed(p, r.AllGroup, r.Part, r.Params, r.Opts.Dedup)
+		}
+		ls := &laneState{
+			r:    r,
+			pos:  pos,
+			csr:  csr,
+			team: omp.TeamFor(r.cfg, r.pl),
+		}
+		ls.parent = make([][]int64, bitmap.LaneBits)
+		for l := range ls.parent {
+			ls.parent[l] = make([]int64, csr.NumLocal())
+		}
+		ls.vis = make([]uint64, csr.NumLocal())
+
+		// The frontier plane is shared per node from ShareInQueue on; the
+		// next-frontier plane and the lane summary from ShareAll on —
+		// the same ladder rungs as bfs's in_queue/out_queue/summary.
+		if opt >= bfs.OptShareInQueue {
+			ls.inPlane = bitmap.PlaneFromWords(p.SharedWords("ms_in_plane", n), n)
+		} else {
+			ls.inPlane = bitmap.NewLanePlane(n)
+		}
+		if opt >= bfs.OptShareAll {
+			ls.outPlane = bitmap.PlaneFromWords(p.SharedWords("ms_out_plane", n), n)
+			ls.inSum = bitmap.WrapLaneSummary(
+				bitmap.PlaneFromWords(p.SharedWords("ms_in_summary", granules), granules),
+				r.Opts.Granularity, n)
+		} else {
+			ls.outPlane = bitmap.NewLanePlane(n)
+			ls.inSum = bitmap.NewLaneSummary(n, r.Opts.Granularity)
+		}
+		ls.send = make([][]int64, len(r.states))
+		if opt >= bfs.OptCompressedAllgather {
+			ls.planeCodec = &wire.Codec{
+				Team: ls.team, Loc: r.inqLoc(),
+				Force:            r.Opts.WireFormat,
+				SparseMaxDensity: r.Opts.WireSparseDensity,
+			}
+			ls.sumCodec = &wire.Codec{
+				Team: ls.team, Loc: r.sumLoc(),
+				Force:            r.Opts.WireFormat,
+				SparseMaxDensity: r.Opts.WireSparseDensity,
+			}
+		}
+		r.states[pos] = ls
+	})
+	r.SetupNs = r.W.MaxClock()
+	if r.prebuilt != nil {
+		r.SetupNs = r.prebuiltNs
+	}
+	r.W.ResetClocks()
+	r.totalEdges = 0
+	for _, ls := range r.states {
+		r.totalEdges += ls.csr.NumEdges()
+	}
+}
+
+// HasEdgeGlobal reports whether vertex v has any incident edge (Graph500
+// root selection).
+func (r *Runner) HasEdgeGlobal(v int64) bool {
+	ls := r.states[r.Part.Owner(v)]
+	return ls.csr.HasEdge(v)
+}
+
+// LaneParents assembles lane l's global parent array (length
+// NumVertices; -1 unvisited). Valid after RunBatch, until the next one.
+func (r *Runner) LaneParents(l int) []int64 {
+	out := make([]int64, r.Params.NumVertices())
+	for pos, ls := range r.states {
+		lo, _ := r.Part.Range(pos)
+		copy(out[lo:], ls.parent[l])
+	}
+	return out
+}
+
+// visBytes is the visited lane-word footprint for the cache model (the
+// structure every claim probes).
+func (ls *laneState) visBytes() int64 { return ls.csr.NumLocal() * 8 }

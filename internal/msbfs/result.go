@@ -1,0 +1,98 @@
+package msbfs
+
+import (
+	"numabfs/internal/simnet"
+	"numabfs/internal/trace"
+	"numabfs/internal/wire"
+)
+
+// LaneResult is one lane's (one root's) view of a batch.
+type LaneResult struct {
+	Root           int64
+	Levels         int
+	TraversedEdges int64 // undirected edges in the lane's component
+	Visited        int64 // vertices the lane reached
+	// TEPS is the lane's effective rate against the WHOLE batch's wall
+	// time — the honest per-query number a service reports: the lane
+	// paid the batch's duration to get its answer.
+	TEPS float64
+}
+
+// BatchResult summarizes one multi-source batch.
+type BatchResult struct {
+	Roots  []int64
+	TimeNs float64 // virtual wall time of the whole batch
+	Levels int     // level count of the longest-running lane
+	// AllgatherRounds is the number of plane+summary allgather
+	// boundaries the batch performed — the figure of merit: sequential
+	// runs pay their rounds per root, the batch pays each round once
+	// for all 64 lanes.
+	AllgatherRounds int64
+	Lanes           []LaneResult
+	// TraversedEdges / Visited / TEPS aggregate all lanes: the batch
+	// traversed this many (lane, edge) pairs in TimeNs.
+	TraversedEdges int64
+	Visited        int64
+	TEPS           float64
+	Breakdown      trace.Breakdown // mean across ranks
+	// LevelStats is the batch frontier curve (rank 0's view; NF/MF are
+	// summed across lanes).
+	LevelStats []trace.LevelStat
+	// CommBytes / RawCommBytes / Wire / Xport as in bfs.RootResult.
+	CommBytes    int64
+	RawCommBytes int64
+	Wire         wire.Stats
+	Xport        simnet.Xport
+}
+
+// assemble gathers the per-rank lane states into a BatchResult.
+func (r *Runner) assemble(roots []int64) BatchResult {
+	res := BatchResult{
+		Roots:  append([]int64(nil), roots...),
+		TimeNs: r.W.MaxClock(),
+	}
+	res.Lanes = make([]LaneResult, len(roots))
+	var bd trace.Breakdown
+	for _, ls := range r.states {
+		bd.Merge(ls.bd)
+		if ls.levels > res.Levels {
+			res.Levels = ls.levels
+		}
+		for l := range roots {
+			res.Lanes[l].TraversedEdges += ls.visitedEdges[l]
+			res.Lanes[l].Visited += ls.visitedCount[l]
+		}
+	}
+	for l, root := range roots {
+		lr := &res.Lanes[l]
+		lr.Root = root
+		lr.TraversedEdges /= 2 // both endpoints counted
+		lr.Levels = r.states[0].laneLevels[l]
+		if res.TimeNs > 0 {
+			lr.TEPS = float64(lr.TraversedEdges) / (res.TimeNs / 1e9)
+		}
+		res.TraversedEdges += lr.TraversedEdges
+		res.Visited += lr.Visited
+	}
+	bd.Scale(1 / float64(len(r.states)))
+	bd.TDLevels = r.states[0].bd.TDLevels
+	bd.BULevels = r.states[0].bd.BULevels
+	bd.BUCommCount = r.states[0].bd.BUCommCount
+	res.Breakdown = bd
+	res.AllgatherRounds = r.states[0].rounds
+	res.LevelStats = append([]trace.LevelStat(nil), r.states[0].levelStats...)
+	vol := r.W.Net().Volume()
+	res.CommBytes = vol.IntraBytes + vol.InterBytes
+	res.RawCommBytes = vol.RawIntraBytes + vol.RawInterBytes
+	res.Xport = vol.Xport
+	for _, ls := range r.states {
+		if ls.planeCodec != nil {
+			res.Wire.Add(ls.planeCodec.Stats())
+			res.Wire.Add(ls.sumCodec.Stats())
+		}
+	}
+	if res.TimeNs > 0 {
+		res.TEPS = float64(res.TraversedEdges) / (res.TimeNs / 1e9)
+	}
+	return res
+}

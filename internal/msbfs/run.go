@@ -1,0 +1,306 @@
+package msbfs
+
+import (
+	"fmt"
+	"math/bits"
+
+	"numabfs/internal/bfs"
+	"numabfs/internal/machine"
+	"numabfs/internal/mpi"
+	"numabfs/internal/obs"
+	"numabfs/internal/trace"
+)
+
+// batchState is the lockstep control state of one batch. Every field is
+// derived from allreduced per-lane vectors, so all ranks hold identical
+// copies and the collective call pattern is identical by construction —
+// the same invariant bfs.loopState maintains for one root, kept here
+// per lane.
+type batchState struct {
+	active uint64 // lanes still traversing
+	bu     uint64 // lanes currently in the bottom-up procedure
+	nf     [64]int64
+	mf     [64]int64
+	prevNf [64]int64
+	// visEdges[l] is lane l's explored directed-edge count, the hybrid
+	// switch's "unexplored" complement.
+	visEdges [64]int64
+}
+
+// RunBatch traverses from up to 64 roots at once and returns the batch
+// result. Rank clocks are reset, so TimeNs is the batch's virtual
+// duration — directly comparable against the sum of len(roots)
+// single-root runs.
+func (r *Runner) RunBatch(roots []int64) BatchResult {
+	if len(r.states) == 0 || r.states[0] == nil {
+		panic("msbfs: RunBatch before Setup")
+	}
+	if len(roots) == 0 || len(roots) > 64 {
+		panic(fmt.Sprintf("msbfs: batch of %d roots outside [1, 64]", len(roots)))
+	}
+	r.W.ResetClocks()
+	for _, ls := range r.states {
+		if ls.planeCodec != nil {
+			ls.planeCodec.ResetStats()
+			ls.sumCodec.ResetStats()
+		}
+	}
+	if err := r.W.TryRun(func(p *mpi.Proc) {
+		r.states[p.Rank()].runBatch(p, roots)
+	}); err != nil {
+		// No checkpoint path here: a transport fault that exhausts its
+		// retry budget (or a programming bug) is terminal.
+		panic(err)
+	}
+	return r.assemble(roots)
+}
+
+// runBatch executes one batch on this rank.
+func (ls *laneState) runBatch(p *mpi.Proc, roots []int64) {
+	r := ls.r
+	st := ls.initBatch(p, roots)
+	for st.active != 0 {
+		ls.levels++
+		levelStart := p.Clock()
+		tdMask := st.active &^ st.bu
+		buMask := st.active & st.bu
+		var nfL, mfL [64]int64
+
+		// Both sweeps write the next frontier into the owned out-plane
+		// segment; clear it once per level (a streaming memset).
+		ls.clearOwnedOut(p, buMask != 0)
+		if tdMask != 0 {
+			ls.topDownSweep(p, tdMask, &nfL, &mfL)
+			ls.bd.TDLevels++
+		}
+		if buMask != 0 {
+			ls.bottomUpSweep(p, buMask, &nfL, &mfL)
+			ls.bd.BULevels++
+		}
+
+		commPh := trace.TDComm
+		buLevel := buMask != 0
+		if buLevel {
+			commPh = trace.BUComm
+		}
+		ls.stallBarrier(p, commPh)
+
+		// Frontier accounting: two 64-lane vector allreduces replace the
+		// 2·len(roots) scalar allreduces sequential runs pay per level.
+		t0, x0 := p.Clock(), p.XportNs()
+		r.AllGroup.AllreduceSumVec64(p, &nfL)
+		r.AllGroup.AllreduceSumVec64(p, &mfL)
+		ls.chargeComm(p, commPh, t0, x0)
+
+		// Per-lane termination: finished lanes drop out of every
+		// subsequent sweep (their plane bits stay zero — an empty
+		// frontier writes nothing).
+		var levNF, levMF int64
+		for m := st.active; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			st.nf[l], st.mf[l] = nfL[l], mfL[l]
+			st.visEdges[l] += mfL[l]
+			levNF += nfL[l]
+			levMF += mfL[l]
+			if nfL[l] == 0 {
+				st.active &^= 1 << uint(l)
+				ls.laneLevels[l] = ls.levels
+			}
+		}
+		ls.levelStats = append(ls.levelStats, trace.LevelStat{
+			Level: ls.levels, BottomUp: buLevel, NF: levNF, MF: levMF,
+			Ns: p.Clock() - levelStart,
+		})
+		ls.rec.LevelSpan(buLevel, ls.levels, levelStart, p.Clock())
+		ls.rec.GaugeSet(obs.GaugeFrontier, p.Clock(), float64(levNF))
+		ls.rec.GaugeSet(obs.GaugeFrontierDensity, p.Clock(),
+			float64(levNF)/float64(r.Params.NumVertices()*int64(ls.nl)))
+		if st.active == 0 {
+			break
+		}
+
+		// Per-lane mode decisions, Beamer-style with bfs's exact
+		// thresholds — each lane follows the schedule its own frontier
+		// curve dictates, so a lane's level structure is independent of
+		// its batch-mates.
+		if r.Opts.Mode == bfs.ModeHybrid {
+			for m := st.active; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				bit := uint64(1) << uint(l)
+				if st.bu&bit == 0 {
+					unexplored := r.totalEdges - st.visEdges[l]
+					if st.nf[l] > st.prevNf[l] && float64(st.mf[l]) > float64(unexplored)/r.Opts.Alpha {
+						st.bu |= bit
+					}
+				} else if float64(st.nf[l]) < float64(r.Params.NumVertices())/r.Opts.Beta {
+					st.bu &^= bit
+				}
+			}
+		}
+		st.prevNf = st.nf
+
+		// Level boundary: publish the next frontier. Bottom-up lanes
+		// need the whole plane (and its summary) everywhere — one
+		// allgather round shared by every lane in the batch. A boundary
+		// where every active lane runs top-down next is allgather-free:
+		// top-down reads only the owned plane segment.
+		ls.publishFrontier(p, st.active&st.bu != 0)
+	}
+}
+
+// initBatch resets per-batch state, seeds the root lanes and performs
+// the initial allreduce, mode setup and frontier publication.
+func (ls *laneState) initBatch(p *mpi.Proc, roots []int64) *batchState {
+	r := ls.r
+	ls.reset(len(roots))
+	ls.rec = p.Obs()
+
+	// Seed the owned roots into the out-plane (cleared owned segment
+	// first, as at every level).
+	t0 := p.Clock()
+	wlo := r.planeLayout.Displs[ls.pos]
+	wcnt := r.planeLayout.Counts[ls.pos]
+	own := ls.outPlane.Words()[wlo : wlo+wcnt]
+	for i := range own {
+		own[i] = 0
+	}
+	var nfL, mfL [64]int64
+	var owned int64
+	lo := ls.csr.Lo
+	for l, root := range roots {
+		if r.Part.Owner(root) != ls.pos {
+			continue
+		}
+		owned++
+		bit := uint64(1) << uint(l)
+		i := root - lo
+		ls.vis[i] |= bit
+		ls.parent[l][i] = root
+		d := ls.csr.Degree(root)
+		ls.outPlane.Or(root, bit)
+		nfL[l] = 1
+		mfL[l] = d
+		ls.visitedCount[l] = 1
+		ls.visitedEdges[l] = d
+	}
+	p.Compute(ls.team.Parallel(machine.PhaseLoad{
+		Random:   []machine.Access{{Count: owned, StructBytes: wcnt * 8, Loc: ls.outLoc()}},
+		SeqBytes: wcnt * 8,
+		SeqLoc:   ls.outLoc(),
+	}))
+	ls.charge(trace.Switch, t0, p.Clock())
+
+	t0, x0 := p.Clock(), p.XportNs()
+	r.AllGroup.AllreduceSumVec64(p, &nfL)
+	r.AllGroup.AllreduceSumVec64(p, &mfL)
+	ls.chargeComm(p, trace.TDComm, t0, x0)
+
+	st := &batchState{active: ls.all}
+	if r.Opts.Mode == bfs.ModeBottomUp {
+		st.bu = ls.all
+	}
+	for l := 0; l < ls.nl; l++ {
+		st.nf[l], st.mf[l] = nfL[l], mfL[l]
+		st.visEdges[l] = mfL[l]
+	}
+	st.prevNf = st.nf
+	ls.publishFrontier(p, st.bu != 0)
+	return st
+}
+
+// reset clears per-batch state for a batch of nl lanes. The planes need
+// no full clearing: the owned out-plane segment is cleared every level,
+// top-down reads only the owned in-plane segment (fully overwritten by
+// publishFrontier), and bottom-up levels are always preceded by a full
+// plane+summary allgather.
+func (ls *laneState) reset(nl int) {
+	ls.nl = nl
+	if nl == 64 {
+		ls.all = ^uint64(0)
+	} else {
+		ls.all = (uint64(1) << uint(nl)) - 1
+	}
+	for l := 0; l < nl; l++ {
+		p := ls.parent[l]
+		for i := range p {
+			p[i] = -1
+		}
+	}
+	for i := range ls.vis {
+		ls.vis[i] = 0
+	}
+	ls.visitedEdges = [64]int64{}
+	ls.visitedCount = [64]int64{}
+	ls.laneLevels = [64]int{}
+	ls.bd = trace.Breakdown{}
+	ls.levels = 0
+	ls.rounds = 0
+	ls.levelStats = ls.levelStats[:0]
+}
+
+// clearOwnedOut zeroes the owned out-plane segment (a streaming memset,
+// charged to the level's dominant computation phase).
+func (ls *laneState) clearOwnedOut(p *mpi.Proc, buLevel bool) {
+	r := ls.r
+	wlo := r.planeLayout.Displs[ls.pos]
+	wcnt := r.planeLayout.Counts[ls.pos]
+	own := ls.outPlane.Words()[wlo : wlo+wcnt]
+	for i := range own {
+		own[i] = 0
+	}
+	ph := trace.TDComp
+	if buLevel {
+		ph = trace.BUComp
+	}
+	ns := ls.team.Parallel(machine.PhaseLoad{SeqBytes: wcnt * 8, SeqLoc: ls.outLoc()})
+	tc := p.Clock()
+	p.Compute(ns)
+	ls.charge(ph, tc, p.Clock())
+}
+
+// claim visits owned vertex v with parent u for every lane of w not yet
+// holding v; accumulates per-lane frontier counters. The caller
+// sequences claims canonically (ascending owned vertex order for local
+// claims, sender-position order for remote ones), which makes each
+// lane's winning parent independent of what the other lanes do.
+func (ls *laneState) claim(v, u int64, w uint64, nfL, mfL *[64]int64) {
+	i := v - ls.csr.Lo
+	nw := w &^ ls.vis[i]
+	if nw == 0 {
+		return
+	}
+	ls.vis[i] |= nw
+	ls.outPlane.Or(v, nw)
+	d := ls.csr.Degree(v)
+	for m := nw; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		ls.parent[l][i] = u
+		nfL[l]++
+		mfL[l] += d
+		ls.visitedCount[l]++
+		ls.visitedEdges[l] += d
+	}
+}
+
+// stallBarrier / charge / chargeComm mirror bfs's phase attribution.
+func (ls *laneState) stallBarrier(p *mpi.Proc, comm trace.Phase) {
+	t0 := p.Clock()
+	wait := p.Barrier()
+	ls.bd.Add(trace.Stall, wait)
+	ls.bd.Add(comm, p.Clock()-t0-wait)
+	ls.rec.PhaseSpan(trace.Stall, ls.levels, t0, t0+wait)
+	ls.rec.PhaseSpan(comm, ls.levels, t0+wait, p.Clock())
+}
+
+func (ls *laneState) charge(ph trace.Phase, start, end float64) {
+	ls.bd.Add(ph, end-start)
+	ls.rec.PhaseSpan(ph, ls.levels, start, end)
+}
+
+func (ls *laneState) chargeComm(p *mpi.Proc, ph trace.Phase, t0, x0 float64) {
+	end := p.Clock()
+	dx := p.XportNs() - x0
+	ls.bd.Add(trace.Xport, dx)
+	ls.bd.Add(ph, end-t0-dx)
+	ls.rec.PhaseSpan(ph, ls.levels, t0, end)
+}
